@@ -1,0 +1,73 @@
+//===- bench/BenchUtil.h - Shared harness helpers ---------------*- C++ -*-==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Helpers shared by the per-figure benchmark binaries: running a TestPair
+/// through the validator and tallying verdicts into the paper's buckets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE2RE_BENCH_BENCHUTIL_H
+#define ALIVE2RE_BENCH_BENCHUTIL_H
+
+#include "corpus/Corpus.h"
+#include "ir/Parser.h"
+#include "refine/Refinement.h"
+
+#include <cstdio>
+
+namespace alive::bench {
+
+/// Figure 7's outcome buckets.
+struct Tally {
+  unsigned Valid = 0;       // proved correct
+  unsigned Violations = 0;  // refinement failures
+  unsigned Timeout = 0;
+  unsigned Oom = 0;
+  unsigned Unsupported = 0; // over-approximation involved / skipped
+  unsigned Other = 0;
+  double Seconds = 0;
+
+  void add(const refine::Verdict &V) {
+    Seconds += V.Seconds;
+    switch (V.Kind) {
+    case refine::VerdictKind::Correct:
+      ++Valid;
+      break;
+    case refine::VerdictKind::Incorrect:
+      ++Violations;
+      break;
+    case refine::VerdictKind::Timeout:
+      ++Timeout;
+      break;
+    case refine::VerdictKind::OutOfMemory:
+      ++Oom;
+      break;
+    case refine::VerdictKind::Unsupported:
+      ++Unsupported;
+      break;
+    default:
+      ++Other;
+      break;
+    }
+  }
+  unsigned total() const {
+    return Valid + Violations + Timeout + Oom + Unsupported + Other;
+  }
+};
+
+inline refine::Verdict runPair(const corpus::TestPair &P,
+                               const refine::Options &Opts) {
+  smt::resetContext();
+  auto SrcM = ir::parseModuleOrDie(P.SrcIR);
+  auto TgtM = ir::parseModuleOrDie(P.TgtIR);
+  const ir::Function *SF = SrcM->function(SrcM->numFunctions() - 1);
+  const ir::Function *TF = TgtM->functionByName(SF->name());
+  return refine::verifyRefinement(*SF, *TF, SrcM.get(), Opts);
+}
+
+} // namespace alive::bench
+
+#endif // ALIVE2RE_BENCH_BENCHUTIL_H

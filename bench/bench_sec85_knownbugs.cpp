@@ -1,0 +1,47 @@
+//===- bench/bench_sec85_knownbugs.cpp - Section 8.5 study ---------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Section 8.5: 36 publicly-reported miscompilations; the paper detects 29
+/// and misses 7 (one infinite loop, one over-large trip count, five
+/// escaped-locals cases). This reproduction encodes the same blind spots,
+/// so the detected/missed split — and the *reasons* for the misses — should
+/// match.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace alive;
+using namespace alive::bench;
+
+int main() {
+  refine::Options Opts;
+  Opts.UnrollFactor = 8;
+  Opts.Budget.TimeoutSec = 15;
+
+  unsigned Detected = 0, Missed = 0, Surprises = 0;
+  std::printf("# Section 8.5: reproducing known LLVM bugs (unroll 8)\n");
+  std::printf("%-24s %-16s %-10s %-10s\n", "bug", "category", "verdict",
+              "expected");
+  for (const corpus::KnownBug &B : corpus::knownBugSuite()) {
+    refine::Verdict V = runPair(B.Pair, Opts);
+    bool Caught = V.isIncorrect();
+    Caught ? ++Detected : ++Missed;
+    bool AsExpected = Caught == B.ExpectDetected;
+    if (!AsExpected)
+      ++Surprises;
+    std::printf("%-24s %-16s %-10s %-10s %s\n", B.Pair.Name.c_str(),
+                B.Pair.Category.c_str(), Caught ? "detected" : "missed",
+                B.ExpectDetected ? "detected" : "missed",
+                AsExpected ? "" : "  <-- SURPRISE");
+    if (!Caught && !B.MissReason.empty())
+      std::printf("%26s reason: %s\n", "", B.MissReason.c_str());
+  }
+  std::printf("\n%u detected / %u missed of %zu   (paper: 29 / 7 of 36)\n",
+              Detected, Missed, corpus::knownBugSuite().size());
+  std::printf("unexpected outcomes: %u\n", Surprises);
+  return Surprises ? 1 : 0;
+}

@@ -1,0 +1,47 @@
+//===- examples/bughunt.cpp - Known-bug reproduction study ---------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The Section 8.5 study as an example: run the 36 publicly-reported
+/// miscompilation patterns through the validator and show which are caught
+/// and which are missed (and why the misses are expected: infinite loops,
+/// the unroll bound, and the escaped-locals memory approximation).
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "ir/Parser.h"
+#include "refine/Refinement.h"
+
+#include <cstdio>
+
+using namespace alive;
+
+int main() {
+  refine::Options Opts;
+  Opts.UnrollFactor = 8;
+  Opts.Budget.TimeoutSec = 20;
+
+  unsigned Detected = 0, Missed = 0;
+  for (const corpus::KnownBug &B : corpus::knownBugSuite()) {
+    smt::resetContext();
+    auto SrcM = ir::parseModuleOrDie(B.Pair.SrcIR);
+    auto TgtM = ir::parseModuleOrDie(B.Pair.TgtIR);
+    const ir::Function *SF = SrcM->function(SrcM->numFunctions() - 1);
+    const ir::Function *TF = TgtM->functionByName(SF->name());
+    refine::Verdict V = refine::verifyRefinement(*SF, *TF, SrcM.get(), Opts);
+    bool Caught = V.isIncorrect();
+    Caught ? ++Detected : ++Missed;
+    std::printf("%-24s %-14s %s%s\n", B.Pair.Name.c_str(),
+                B.Pair.Category.c_str(), Caught ? "DETECTED" : "missed",
+                Caught || B.MissReason.empty()
+                    ? ""
+                    : (" (" + B.MissReason + ")").c_str());
+  }
+  std::printf("\n%u detected / %u missed of %zu known bugs "
+              "(the paper reports 29/7 of 36)\n",
+              Detected, Missed, corpus::knownBugSuite().size());
+  return 0;
+}

@@ -1,0 +1,80 @@
+//===- examples/optimizer_audit.cpp - Validate a whole pipeline ----------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The alivecc workflow (Section 8.1): compile a module with the optimizer
+/// and translation-validate every pass-level transformation, including one
+/// deliberately buggy pass smuggled into the pipeline. The audit pinpoints
+/// exactly which pass broke which function.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "ir/Parser.h"
+#include "opt/Pass.h"
+#include "refine/Refinement.h"
+
+#include <cstdio>
+
+using namespace alive;
+
+int main() {
+  // A small "application" module from the corpus generator, plus one
+  // handwritten hot function whose Boolean select carries possible poison —
+  // the exact shape the saboteur miscompiles.
+  corpus::AppSpec Spec{"demo", 1, 6, 0xdead};
+  auto M = corpus::generateApp(Spec);
+  auto Extra = ir::parseModuleOrDie(R"(
+define i1 @demo_hot(i8 %a, i1 %c) {
+entry:
+  %x = add nsw i8 %a, 1
+  %q = icmp slt i8 %x, %a
+  %r = select i1 %c, i1 %q, i1 false
+  ret i1 %r
+}
+)");
+  M->adoptFunction(Extra->function(0)->clone());
+
+  refine::Options Opts;
+  Opts.UnrollFactor = 8;
+  Opts.Budget.TimeoutSec = 20;
+
+  unsigned Checked = 0, Bad = 0;
+  opt::TVHook Hook = [&](const ir::Function &Before,
+                         const ir::Function &After,
+                         const std::string &PassName) {
+    smt::resetContext();
+    refine::Verdict V = refine::verifyRefinement(Before, After, M.get(), Opts);
+    ++Checked;
+    if (V.isCorrect()) {
+      std::printf("  [ok]   %-18s @%s (%.2fs)\n", PassName.c_str(),
+                  Before.name().c_str(), V.Seconds);
+      return;
+    }
+    if (V.isIncorrect()) {
+      ++Bad;
+      std::printf("  [BUG]  %-18s @%s: %s\n", PassName.c_str(),
+                  Before.name().c_str(), V.FailedCheck.c_str());
+      return;
+    }
+    std::printf("  [%s] %-18s @%s\n", V.kindName(), PassName.c_str(),
+                Before.name().c_str());
+  };
+
+  // The honest pipeline, with a saboteur smuggled in up front (before
+  // instcombine can canonicalize its trigger pattern soundly).
+  std::vector<std::string> Pipeline = {"bug-select-arith", "instsimplify",
+                                       "instcombine", "gvn", "dce",
+                                       "simplifycfg"};
+  std::printf("auditing pipeline: bug-select-arith (saboteur), "
+              "instsimplify, instcombine, gvn, dce, simplifycfg\n");
+  opt::runPipeline(*M, Pipeline, Hook, /*Batch=*/false);
+
+  std::printf("\n%u transformations checked, %u refinement violations "
+              "found\n", Checked, Bad);
+  std::printf("(the violations all come from the saboteur pass, as they "
+              "should)\n");
+  return 0;
+}

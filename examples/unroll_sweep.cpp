@@ -1,0 +1,60 @@
+//===- examples/unroll_sweep.cpp - The coverage/cost tradeoff ------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Demonstrates Section 7's central tradeoff on a single pair: a loop that
+/// is miscompiled only on its fourth iteration is invisible below unroll
+/// factor 4 and caught from 4 on, while verification time grows with the
+/// bound.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "refine/Refinement.h"
+
+#include <cstdio>
+
+using namespace alive;
+
+int main() {
+  const char *Src = R"(
+define i32 @f() {
+entry:
+  br label %loop
+loop:
+  %i = phi i32 [ 0, %entry ], [ %inext, %loop ]
+  %inext = add i32 %i, 1
+  %c = icmp eq i32 %inext, 4
+  br i1 %c, label %done, label %loop
+done:
+  ret i32 %inext
+}
+)";
+  const char *Tgt = R"(
+define i32 @f() {
+entry:
+  ret i32 5
+}
+)";
+
+  std::printf("source: count to 4;  target: return 5 (wrong!)\n\n");
+  std::printf("%-8s %-12s %-8s\n", "unroll", "verdict", "time");
+  for (unsigned U : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    smt::resetContext();
+    auto SrcM = ir::parseModuleOrDie(Src);
+    auto TgtM = ir::parseModuleOrDie(Tgt);
+    refine::Options Opts;
+    Opts.UnrollFactor = U;
+    Opts.Budget.TimeoutSec = 30;
+    refine::Verdict V = refine::verifyRefinement(
+        *SrcM->functionByName("f"), *TgtM->functionByName("f"), SrcM.get(),
+        Opts);
+    std::printf("%-8u %-12s %.3fs\n", U, V.kindName(), V.Seconds);
+  }
+  std::printf("\nbelow the bound the buggy iteration is excluded by the "
+              "sink precondition;\nfrom unroll 4 on, the refinement "
+              "violation is exposed.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+//===- analysis/Cfg.cpp - CFG helpers ----------------------------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+
+#include <unordered_set>
+
+using namespace alive;
+using namespace alive::analysis;
+using namespace alive::ir;
+
+Cfg::Cfg(const Function &Fn) : F(Fn) {
+  // Predecessors over all blocks (even unreachable ones).
+  for (unsigned I = 0; I < Fn.numBlocks(); ++I) {
+    BasicBlock *BB = Fn.block(I);
+    for (BasicBlock *S : BB->successors())
+      Preds[S].push_back(BB);
+  }
+  // Iterative post-order DFS from entry, then reverse.
+  if (!Fn.entry())
+    return;
+  std::unordered_set<const BasicBlock *> Visited;
+  std::vector<std::pair<BasicBlock *, unsigned>> Stack;
+  std::vector<BasicBlock *> Post;
+  Stack.push_back({Fn.entry(), 0});
+  Visited.insert(Fn.entry());
+  while (!Stack.empty()) {
+    auto &[BB, NextSucc] = Stack.back();
+    std::vector<BasicBlock *> Succs = BB->successors();
+    if (NextSucc < Succs.size()) {
+      BasicBlock *S = Succs[NextSucc++];
+      if (Visited.insert(S).second)
+        Stack.push_back({S, 0});
+      continue;
+    }
+    Post.push_back(BB);
+    Stack.pop_back();
+  }
+  Rpo.assign(Post.rbegin(), Post.rend());
+  for (unsigned I = 0; I < Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = I;
+}
+
+const std::vector<BasicBlock *> &Cfg::preds(const BasicBlock *BB) const {
+  auto It = Preds.find(BB);
+  return It == Preds.end() ? Empty : It->second;
+}
+
+unsigned Cfg::rpoIndex(const BasicBlock *BB) const {
+  auto It = RpoIndex.find(BB);
+  return It == RpoIndex.end() ? ~0u : It->second;
+}

@@ -1,0 +1,92 @@
+//===- analysis/Dominators.cpp - Dominator tree ------------------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include <cassert>
+
+using namespace alive;
+using namespace alive::analysis;
+using namespace alive::ir;
+
+DomTree::DomTree(const Cfg &G) : G(G) {
+  const auto &Rpo = G.rpo();
+  if (Rpo.empty())
+    return;
+
+  // Cooper-Harvey-Kennedy: iterate to a fixed point over RPO.
+  BasicBlock *Entry = Rpo[0];
+  IDom[Entry] = Entry;
+
+  auto intersect = [&](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (G.rpoIndex(A) > G.rpoIndex(B))
+        A = IDom.at(A);
+      while (G.rpoIndex(B) > G.rpoIndex(A))
+        B = IDom.at(B);
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 1; I < Rpo.size(); ++I) {
+      BasicBlock *BB = Rpo[I];
+      BasicBlock *NewIDom = nullptr;
+      for (BasicBlock *P : G.preds(BB)) {
+        if (!G.isReachable(P) || !IDom.count(P))
+          continue;
+        NewIDom = NewIDom ? intersect(NewIDom, P) : P;
+      }
+      if (!NewIDom)
+        continue;
+      auto It = IDom.find(BB);
+      if (It == IDom.end() || It->second != NewIDom) {
+        IDom[BB] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+BasicBlock *DomTree::idom(const BasicBlock *BB) const {
+  auto It = IDom.find(BB);
+  if (It == IDom.end())
+    return nullptr;
+  // Entry's map entry points at itself; report null per the usual API.
+  return It->second == BB ? nullptr : It->second;
+}
+
+bool DomTree::dominates(const BasicBlock *A, const BasicBlock *B) const {
+  if (!G.isReachable(A) || !G.isReachable(B))
+    return false;
+  const BasicBlock *Cur = B;
+  while (true) {
+    if (Cur == A)
+      return true;
+    auto It = IDom.find(Cur);
+    if (It == IDom.end() || It->second == Cur)
+      return false;
+    Cur = It->second;
+  }
+}
+
+bool DomTree::dominatesUse(const Instr *Def, const BasicBlock *UserBB,
+                           unsigned UserIndex) const {
+  const BasicBlock *DefBB = Def->parent();
+  assert(DefBB && "definition not attached to a block");
+  if (DefBB != UserBB)
+    return dominates(DefBB, UserBB);
+  // Same block: the definition must come first.
+  for (unsigned I = 0; I < UserBB->size(); ++I) {
+    if (UserBB->instr(I) == Def)
+      return I < UserIndex;
+    if (I == UserIndex)
+      return false;
+  }
+  return false;
+}

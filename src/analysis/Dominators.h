@@ -1,0 +1,45 @@
+//===- analysis/Dominators.h - Dominator tree -------------------*- C++ -*-==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree via the Cooper-Harvey-Kennedy iterative algorithm — the
+/// same algorithm the paper cites ([7]) for the unroller's phi-placement
+/// decisions (Section 7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE2RE_ANALYSIS_DOMINATORS_H
+#define ALIVE2RE_ANALYSIS_DOMINATORS_H
+
+#include "analysis/Cfg.h"
+
+namespace alive::analysis {
+
+class DomTree {
+public:
+  explicit DomTree(const Cfg &G);
+
+  /// Immediate dominator; null for the entry block and unreachable blocks.
+  ir::BasicBlock *idom(const ir::BasicBlock *BB) const;
+
+  /// Reflexive dominance over reachable blocks. Unreachable blocks are
+  /// dominated by nothing and dominate nothing.
+  bool dominates(const ir::BasicBlock *A, const ir::BasicBlock *B) const;
+
+  /// Instruction-level dominance: does the definition \p Def dominate the
+  /// use site (\p UserBB, \p UserIndex)? Phi uses must be checked against
+  /// the end of the incoming block instead.
+  bool dominatesUse(const ir::Instr *Def, const ir::BasicBlock *UserBB,
+                    unsigned UserIndex) const;
+
+private:
+  const Cfg &G;
+  std::unordered_map<const ir::BasicBlock *, ir::BasicBlock *> IDom;
+};
+
+} // namespace alive::analysis
+
+#endif // ALIVE2RE_ANALYSIS_DOMINATORS_H

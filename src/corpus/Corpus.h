@@ -1,0 +1,77 @@
+//===- corpus/Corpus.h - Evaluation workloads -------------------*- C++ -*-==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The workloads behind the paper's evaluation (Section 8): a curated
+/// unit-test suite mirroring the LLVM unit tests' bug taxonomy (8.2), a
+/// deterministic random function generator, the 36-entry known-bugs study
+/// (8.5) including the designed-to-miss entries, and the five synthetic
+/// single-file applications (8.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE2RE_CORPUS_CORPUS_H
+#define ALIVE2RE_CORPUS_CORPUS_H
+
+#include "ir/Function.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alive::corpus {
+
+/// One source/target pair with its expected verdict.
+struct TestPair {
+  std::string Name;
+  /// Section 8.2 category label ("undef", "branch-on-undef", "vector",
+  /// "select-ub", "arith", "loop-mem", "fastmath", "bitcast", "memory",
+  /// "calls", "correct").
+  std::string Category;
+  std::string SrcIR;
+  std::string TgtIR;
+  /// True when the pair violates refinement.
+  bool ExpectBug = false;
+  /// For loop pairs: the unroll factor needed to expose the bug (0 = any).
+  unsigned NeedsUnroll = 0;
+};
+
+/// The curated unit-test suite (the 36k-LLVM-unit-tests analog, scaled).
+const std::vector<TestPair> &unitTestSuite();
+
+/// Randomly generated correct pairs: the source is a generated function,
+/// the target the result of the correct -O2 pipeline.
+std::vector<TestPair> generatedSuite(unsigned Count, uint64_t Seed);
+
+/// One entry of the Section 8.5 reproduction study.
+struct KnownBug {
+  TestPair Pair;
+  /// Whether the validator is expected to detect it at the study's
+  /// parameters (unroll 8); the misses document Alive2's own blind spots.
+  bool ExpectDetected = true;
+  std::string MissReason; // "infinite loop", "unroll bound", "escaped local"
+};
+const std::vector<KnownBug> &knownBugSuite();
+
+/// A synthetic single-file application (Section 8.4 analog).
+struct AppSpec {
+  std::string Name;    // bzip2, gzip, oggenc, ph7, sqlite3
+  unsigned KLoc;       // the paper's LoC column (thousands)
+  unsigned Functions;  // scaled function count for this reproduction
+  uint64_t Seed;
+};
+const std::vector<AppSpec> &appSpecs();
+/// Generates the module for one application.
+std::unique_ptr<ir::Module> generateApp(const AppSpec &Spec);
+
+/// Generates one random (loop-free unless \p WithLoop) function in textual
+/// IR. Deterministic in \p Seed.
+std::string generateFunctionIR(uint64_t Seed, bool WithLoop, bool WithMemory,
+                               const std::string &Name = "f");
+
+} // namespace alive::corpus
+
+#endif // ALIVE2RE_CORPUS_CORPUS_H

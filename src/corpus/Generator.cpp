@@ -1,0 +1,190 @@
+//===- corpus/Generator.cpp - Random IR generation -----------------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "opt/Pass.h"
+#include "support/Diag.h"
+
+using namespace alive;
+using namespace alive::corpus;
+
+namespace {
+
+/// Emits straight-line integer code over a growing pool of values.
+class FnBuilder {
+public:
+  FnBuilder(Rng &R, unsigned Width) : R(R), Width(Width) {}
+
+  std::string buildBody(bool WithLoop, bool WithMemory) {
+    std::string B;
+    // Arguments are %a0 %a1 %a2 of iW.
+    for (int I = 0; I < 3; ++I)
+      Pool.push_back("%a" + std::to_string(I));
+
+    if (WithMemory) {
+      B += "  %slot = alloca i" + std::to_string(Width) + ", align 4\n";
+      B += "  store i" + W() + " " + pick() + ", ptr %slot\n";
+    }
+    unsigned N = 3 + (unsigned)R.next(6);
+    for (unsigned I = 0; I < N; ++I)
+      B += emitOp();
+    if (R.chance(1, 3)) {
+      // A Boolean select with a false arm: the shape LLVM canonicalizes to
+      // and/or (and the shape the Section 8.4 bug class corrupts).
+      std::string C1 = fresh("p");
+      B += "  " + C1 + " = icmp slt i" + W() + " " + pick() + ", " + pick() +
+           "\n";
+      std::string C2 = fresh("q");
+      B += "  " + C2 + " = icmp ne i" + W() + " " + pick() + ", " + pick() +
+           "\n";
+      std::string Sel = fresh("s");
+      B += "  " + Sel + " = select i1 " + C1 + ", i1 " + C2 +
+           ", i1 false\n";
+      std::string Z = fresh("z");
+      B += "  " + Z + " = zext i1 " + Sel + " to i" + W() + "\n";
+      Pool.push_back(Z);
+    }
+    if (WithMemory && R.chance(1, 2)) {
+      B += "  " + fresh("m") + " = load i" + W() + ", ptr %slot\n";
+      Pool.push_back(Last);
+    }
+    if (WithLoop) {
+      // for (i = 0; i != K; ++i) acc += <val>   with K in [1, 4].
+      unsigned K = 1 + (unsigned)R.next(4);
+      std::string Val = pick();
+      B += "  br label %loop\n";
+      B += "loop:\n";
+      B += "  %i = phi i" + W() + " [ 0, %entry ], [ %inext, %loop ]\n";
+      B += "  %acc = phi i" + W() + " [ 0, %entry ], [ %accnext, %loop ]\n";
+      B += "  %accnext = add i" + W() + " %acc, " + Val + "\n";
+      B += "  %inext = add i" + W() + " %i, 1\n";
+      B += "  %lc = icmp eq i" + W() + " %inext, " + std::to_string(K) + "\n";
+      B += "  br i1 %lc, label %done, label %loop\n";
+      B += "done:\n";
+      B += "  ret i" + W() + " %accnext\n";
+      return B;
+    }
+    // Conditional tail half the time.
+    if (R.chance(1, 2)) {
+      std::string C = fresh("c");
+      B += "  " + C + " = icmp slt i" + W() + " " + pick() + ", " + pick() +
+           "\n";
+      std::string X = pick(), Y = pick();
+      B += "  br i1 " + C + ", label %t, label %e\n";
+      B += "t:\n  ret i" + W() + " " + X + "\n";
+      B += "e:\n  ret i" + W() + " " + Y + "\n";
+      return B;
+    }
+    B += "  ret i" + W() + " " + pick() + "\n";
+    return B;
+  }
+
+private:
+  Rng &R;
+  unsigned Width;
+  std::vector<std::string> Pool;
+  std::string Last;
+  unsigned Counter = 0;
+
+  std::string W() const { return std::to_string(Width); }
+
+  std::string fresh(const char *Prefix) {
+    Last = "%" + std::string(Prefix) + std::to_string(Counter++);
+    return Last;
+  }
+
+  std::string pick() {
+    // Mix in small constants, undef (rarely) and pool values.
+    if (R.chance(1, 4))
+      return std::to_string((int64_t)R.next(7) - 3);
+    if (R.chance(1, 16))
+      return "undef";
+    return Pool[R.next(Pool.size())];
+  }
+
+  std::string emitOp() {
+    static const char *Ops[] = {"add", "sub", "mul",  "and", "or",
+                                "xor", "shl", "lshr", "ashr"};
+    const char *Op = Ops[R.next(sizeof(Ops) / sizeof(*Ops))];
+    std::string Flags;
+    if ((Op == std::string("add") || Op == std::string("sub") ||
+         Op == std::string("mul")) &&
+        R.chance(1, 3))
+      Flags = R.chance(1, 2) ? " nsw" : " nuw";
+    std::string A = pick(), B = pick();
+    std::string Def = fresh("v");
+    Pool.push_back(Def);
+    return "  " + Def + " = " + Op + Flags + " i" + W() + " " + A + ", " + B +
+           "\n";
+  }
+};
+
+} // namespace
+
+std::string corpus::generateFunctionIR(uint64_t Seed, bool WithLoop,
+                                       bool WithMemory,
+                                       const std::string &Name) {
+  Rng R(Seed);
+  unsigned Width = R.chance(1, 2) ? 8 : (R.chance(1, 2) ? 16 : 32);
+  FnBuilder B(R, Width);
+  std::string W = std::to_string(Width);
+  std::string IR = "define i" + W + " @" + Name + "(i" + W + " %a0, i" + W +
+                   " %a1, i" + W + " %a2) {\nentry:\n";
+  IR += B.buildBody(WithLoop, WithMemory);
+  IR += "}\n";
+  return IR;
+}
+
+std::vector<TestPair> corpus::generatedSuite(unsigned Count, uint64_t Seed) {
+  std::vector<TestPair> Out;
+  Rng R(Seed);
+  for (unsigned I = 0; I < Count; ++I) {
+    uint64_t FnSeed = R.next();
+    bool WithLoop = R.chance(1, 4);
+    bool WithMemory = !WithLoop && R.chance(1, 4);
+    std::string SrcIR = generateFunctionIR(FnSeed, WithLoop, WithMemory);
+    auto M = ir::parseModuleOrDie(SrcIR);
+    opt::runPipeline(*M, opt::defaultPipeline());
+    TestPair P;
+    P.Name = "gen" + std::to_string(I);
+    P.Category = "correct";
+    P.SrcIR = SrcIR;
+    P.TgtIR = ir::printModule(*M);
+    P.ExpectBug = false;
+    Out.push_back(std::move(P));
+  }
+  return Out;
+}
+
+const std::vector<AppSpec> &corpus::appSpecs() {
+  // The paper's Figure 7 programs with their LoC column; function counts
+  // are scaled so the whole experiment runs on one core (see DESIGN.md).
+  static const std::vector<AppSpec> Specs = {
+      {"bzip2", 5, 12, 0xb21f},   {"gzip", 5, 14, 0x9219},
+      {"oggenc", 48, 16, 0x0996}, {"ph7", 43, 22, 0x9117},
+      {"sqlite3", 141, 30, 0x5317},
+  };
+  return Specs;
+}
+
+std::unique_ptr<ir::Module> corpus::generateApp(const AppSpec &Spec) {
+  Rng R(Spec.Seed);
+  std::string IR = "@table = global [64 x i8]\n"
+                   "@state = global [16 x i8]\n"
+                   "declare i32 @ext_read(i32)\n"
+                   "declare i32 @ext_write(i32, i32)\n\n";
+  for (unsigned I = 0; I < Spec.Functions; ++I) {
+    uint64_t FnSeed = R.next();
+    bool WithLoop = R.chance(1, 3);
+    bool WithMemory = !WithLoop && R.chance(1, 3);
+    IR += generateFunctionIR(FnSeed, WithLoop, WithMemory,
+                             Spec.Name + "_fn" + std::to_string(I));
+    IR += "\n";
+  }
+  return ir::parseModuleOrDie(IR);
+}

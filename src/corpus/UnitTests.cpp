@@ -1,0 +1,1097 @@
+//===- corpus/UnitTests.cpp - Curated unit-test suite --------------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The curated source/target pairs mirroring the Section 8.2 taxonomy of
+/// the 121 refinement violations found in LLVM's unit tests, plus correct
+/// pairs that a sound validator must accept. Loop pairs carry the unroll
+/// factor needed to expose their bug (they drive Figure 6's sweep).
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace alive;
+using namespace alive::corpus;
+
+namespace {
+
+TestPair mk(const char *Name, const char *Cat, const char *Src,
+            const char *Tgt, bool Bug, unsigned NeedsUnroll = 0) {
+  TestPair P;
+  P.Name = Name;
+  P.Category = Cat;
+  P.SrcIR = Src;
+  P.TgtIR = Tgt;
+  P.ExpectBug = Bug;
+  P.NeedsUnroll = NeedsUnroll;
+  return P;
+}
+
+/// A loop that accumulates 1 per iteration for K iterations and is
+/// miscompiled to return K+Delta: wrong only when the loop actually runs K
+/// times, so the validator needs unroll >= K to see it.
+TestPair loopBugAt(unsigned K) {
+  std::string Name = "loop-bug-at-" + std::to_string(K);
+  std::string Src = R"(
+define i32 @f() {
+entry:
+  br label %loop
+loop:
+  %i = phi i32 [ 0, %entry ], [ %inext, %loop ]
+  %inext = add i32 %i, 1
+  %c = icmp eq i32 %inext, )" + std::to_string(K) + R"(
+  br i1 %c, label %done, label %loop
+done:
+  ret i32 %inext
+}
+)";
+  std::string Tgt = "define i32 @f() {\nentry:\n  ret i32 " +
+                    std::to_string(K + 1) + "\n}\n";
+  TestPair P;
+  P.Name = Name;
+  P.Category = "arith";
+  P.SrcIR = Src;
+  P.TgtIR = Tgt;
+  P.ExpectBug = true;
+  P.NeedsUnroll = K;
+  return P;
+}
+
+/// The correct counterpart: folding the same counting loop to K.
+TestPair loopFoldAt(unsigned K) {
+  TestPair P = loopBugAt(K);
+  P.Name = "loop-fold-at-" + std::to_string(K);
+  P.Category = "correct";
+  P.TgtIR = "define i32 @f() {\nentry:\n  ret i32 " + std::to_string(K) +
+            "\n}\n";
+  P.ExpectBug = false;
+  P.NeedsUnroll = K;
+  return P;
+}
+
+std::vector<TestPair> buildSuite() {
+  std::vector<TestPair> S;
+
+  // --- undef: folds that are wrong when undef is an operand (43 in the
+  // paper; the dominant class). -------------------------------------------
+  S.push_back(mk("undef-and-fold", "undef", R"(
+define i8 @f() {
+entry:
+  %x = and i8 undef, 15
+  ret i8 %x
+}
+)",
+                 R"(
+define i8 @f() {
+entry:
+  ret i8 undef
+}
+)",
+                 true));
+  S.push_back(mk("undef-mul-fold", "undef", R"(
+define i8 @f() {
+entry:
+  %x = mul i8 undef, 4
+  ret i8 %x
+}
+)",
+                 R"(
+define i8 @f() {
+entry:
+  ret i8 undef
+}
+)",
+                 true));
+  S.push_back(mk("undef-shl-fold", "undef", R"(
+define i8 @f() {
+entry:
+  %x = shl i8 undef, 2
+  ret i8 %x
+}
+)",
+                 R"(
+define i8 @f() {
+entry:
+  ret i8 undef
+}
+)",
+                 true));
+  S.push_back(mk("undef-or-fold", "undef", R"(
+define i8 @f() {
+entry:
+  %x = or i8 undef, 3
+  ret i8 %x
+}
+)",
+                 R"(
+define i8 @f() {
+entry:
+  ret i8 undef
+}
+)",
+                 true));
+  S.push_back(mk("undef-add-fold-ok", "correct", R"(
+define i8 @f() {
+entry:
+  %x = add i8 undef, 3
+  ret i8 %x
+}
+)",
+                 R"(
+define i8 @f() {
+entry:
+  ret i8 undef
+}
+)",
+                 false));
+  S.push_back(mk("undef-to-constant-ok", "correct", R"(
+define i8 @f() {
+entry:
+  %x = and i8 undef, 15
+  ret i8 %x
+}
+)",
+                 R"(
+define i8 @f() {
+entry:
+  ret i8 7
+}
+)",
+                 false));
+  S.push_back(mk("undef-xor-self", "undef", R"(
+define i8 @f(i8 %a) {
+entry:
+  ret i8 0
+}
+)",
+                 R"(
+define i8 @f(i8 %a) {
+entry:
+  %x = xor i8 undef, undef
+  ret i8 %x
+}
+)",
+                 true));
+
+  // --- branch-on-undef introduction (18 in the paper). --------------------
+  S.push_back(mk("select-to-branch", "branch-on-undef", R"(
+define i8 @f(i8 %x, i8 %y) {
+entry:
+  %s = add nsw i8 %x, %y
+  %c = icmp slt i8 %s, %x
+  %r = select i1 %c, i8 1, i8 2
+  ret i8 %r
+}
+)",
+                 R"(
+define i8 @f(i8 %x, i8 %y) {
+entry:
+  %s = add nsw i8 %x, %y
+  %c = icmp slt i8 %s, %x
+  br i1 %c, label %t, label %e
+t:
+  ret i8 1
+e:
+  ret i8 2
+}
+)",
+                 true));
+  S.push_back(mk("select-to-branch-frozen-ok", "correct", R"(
+define i8 @f(i8 %x, i8 %y) {
+entry:
+  %s = add nsw i8 %x, %y
+  %c = icmp slt i8 %s, %x
+  %r = select i1 %c, i8 1, i8 2
+  ret i8 %r
+}
+)",
+                 R"(
+define i8 @f(i8 %x, i8 %y) {
+entry:
+  %s = add nsw i8 %x, %y
+  %c = icmp slt i8 %s, %x
+  %cf = freeze i1 %c
+  br i1 %cf, label %t, label %e
+t:
+  ret i8 1
+e:
+  ret i8 2
+}
+)",
+                 false));
+  S.push_back(mk("hoist-branch-over-guard", "branch-on-undef", R"(
+define i8 @f(i1 %g, i8 %x) {
+entry:
+  br i1 %g, label %use, label %skip
+use:
+  %p = add nsw i8 %x, 1
+  %c = icmp slt i8 %p, %x
+  br i1 %c, label %a, label %b
+a:
+  ret i8 1
+b:
+  ret i8 2
+skip:
+  ret i8 0
+}
+)",
+                 R"(
+define i8 @f(i1 %g, i8 %x) {
+entry:
+  %p = add nsw i8 %x, 1
+  %c = icmp slt i8 %p, %x
+  br i1 %c, label %a, label %b
+a:
+  %r1 = select i1 %g, i8 1, i8 0
+  ret i8 %r1
+b:
+  %r2 = select i1 %g, i8 2, i8 0
+  ret i8 %r2
+}
+)",
+                 true));
+
+  // --- vector bugs (9 in the paper). ---------------------------------------
+  S.push_back(mk("shuffle-undef-mask", "vector", R"(
+define <2 x i8> @f(<2 x i8> %v) {
+entry:
+  %s = shufflevector <2 x i8> %v, <2 x i8> %v, <2 x i32> <i32 0, i32 undef>
+  ret <2 x i8> %s
+}
+)",
+                 R"(
+define <2 x i8> @f(<2 x i8> %v) {
+entry:
+  ret <2 x i8> %v
+}
+)",
+                 true));
+  S.push_back(mk("shuffle-identity-ok", "correct", R"(
+define <2 x i8> @f(<2 x i8> %v) {
+entry:
+  %s = shufflevector <2 x i8> %v, <2 x i8> %v, <2 x i32> <i32 0, i32 1>
+  ret <2 x i8> %s
+}
+)",
+                 R"(
+define <2 x i8> @f(<2 x i8> %v) {
+entry:
+  ret <2 x i8> %v
+}
+)",
+                 false));
+  S.push_back(mk("vector-lane-poison-leak", "vector", R"(
+define i8 @f(i8 %a) {
+entry:
+  %v0 = insertelement <2 x i8> <i8 0, i8 poison>, i8 %a, i32 0
+  %e = extractelement <2 x i8> %v0, i32 0
+  ret i8 %e
+}
+)",
+                 R"(
+define i8 @f(i8 %a) {
+entry:
+  %v0 = insertelement <2 x i8> <i8 0, i8 poison>, i8 %a, i32 0
+  %e = extractelement <2 x i8> %v0, i32 1
+  ret i8 %e
+}
+)",
+                 true));
+  S.push_back(mk("extractelement-oob-poison", "vector", R"(
+define i8 @f(<2 x i8> %v) {
+entry:
+  ret i8 0
+}
+)",
+                 R"(
+define i8 @f(<2 x i8> %v) {
+entry:
+  %e = extractelement <2 x i8> %v, i32 5
+  ret i8 %e
+}
+)",
+                 true));
+  S.push_back(mk("vector-add-lanewise-ok", "correct", R"(
+define <2 x i8> @f(<2 x i8> %v) {
+entry:
+  %x = add <2 x i8> %v, <i8 1, i8 1>
+  %y = sub <2 x i8> %x, <i8 1, i8 1>
+  ret <2 x i8> %y
+}
+)",
+                 R"(
+define <2 x i8> @f(<2 x i8> %v) {
+entry:
+  ret <2 x i8> %v
+}
+)",
+                 false));
+
+  // --- select UB bugs (5 in the paper; Section 8.4). -----------------------
+  S.push_back(mk("select-to-and", "select-ub", R"(
+define i1 @f(i1 %x, i1 %y) {
+entry:
+  %r = select i1 %x, i1 %y, i1 false
+  ret i1 %r
+}
+)",
+                 R"(
+define i1 @f(i1 %x, i1 %y) {
+entry:
+  %r = and i1 %x, %y
+  ret i1 %r
+}
+)",
+                 true));
+  S.push_back(mk("select-to-or", "select-ub", R"(
+define i1 @f(i1 %x, i1 %y) {
+entry:
+  %r = select i1 %x, i1 true, i1 %y
+  ret i1 %r
+}
+)",
+                 R"(
+define i1 @f(i1 %x, i1 %y) {
+entry:
+  %r = or i1 %x, %y
+  ret i1 %r
+}
+)",
+                 true));
+  S.push_back(mk("select-to-and-freeze-ok", "correct", R"(
+define i1 @f(i1 %x, i1 %y) {
+entry:
+  %r = select i1 %x, i1 %y, i1 false
+  ret i1 %r
+}
+)",
+                 R"(
+define i1 @f(i1 %x, i1 %y) {
+entry:
+  %yf = freeze i1 %y
+  %r = and i1 %x, %yf
+  ret i1 %r
+}
+)",
+                 false));
+
+  // --- arithmetic bugs (4 in the paper + selected bug #1). ------------------
+  S.push_back(mk("shl-lshr-cancel", "arith", R"(
+define i8 @f(i8 %x) {
+entry:
+  %a = shl i8 %x, 2
+  %b = lshr i8 %a, 2
+  ret i8 %b
+}
+)",
+                 R"(
+define i8 @f(i8 %x) {
+entry:
+  ret i8 %x
+}
+)",
+                 true));
+  S.push_back(mk("nsw-reassoc", "arith", R"(
+define i8 @f(i8 %a, i8 %b, i8 %c) {
+entry:
+  %x = add nsw i8 %a, %b
+  %y = add nsw i8 %x, %c
+  ret i8 %y
+}
+)",
+                 R"(
+define i8 @f(i8 %a, i8 %b, i8 %c) {
+entry:
+  %x = add nsw i8 %a, %c
+  %y = add nsw i8 %x, %b
+  ret i8 %y
+}
+)",
+                 true));
+  S.push_back(mk("reassoc-drop-nsw-ok", "correct", R"(
+define i8 @f(i8 %a, i8 %b, i8 %c) {
+entry:
+  %x = add nsw i8 %a, %b
+  %y = add nsw i8 %x, %c
+  ret i8 %y
+}
+)",
+                 R"(
+define i8 @f(i8 %a, i8 %b, i8 %c) {
+entry:
+  %x = add i8 %a, %c
+  %y = add i8 %x, %b
+  ret i8 %y
+}
+)",
+                 false));
+  S.push_back(mk("udiv-exact-invent", "arith", R"(
+define i8 @f(i8 %a, i8 %b) {
+entry:
+  %z = icmp eq i8 %b, 0
+  br i1 %z, label %s, label %d
+d:
+  %q = udiv i8 %a, %b
+  ret i8 %q
+s:
+  ret i8 0
+}
+)",
+                 R"(
+define i8 @f(i8 %a, i8 %b) {
+entry:
+  %z = icmp eq i8 %b, 0
+  br i1 %z, label %s, label %d
+d:
+  %q = udiv exact i8 %a, %b
+  ret i8 %q
+s:
+  ret i8 0
+}
+)",
+                 true));
+  S.push_back(mk("max-fold-ok", "correct", R"(
+define i1 @f(i32 %x, i32 %y) {
+entry:
+  %c = icmp sgt i32 %x, %y
+  %m = select i1 %c, i32 %x, i32 %y
+  %r = icmp slt i32 %m, %x
+  ret i1 %r
+}
+)",
+                 R"(
+define i1 @f(i32 %x, i32 %y) {
+entry:
+  ret i1 false
+}
+)",
+                 false));
+
+  // --- loop/memory bugs (4 in the paper). ----------------------------------
+  S.push_back(mk("loop-store-forward-bad", "loop-mem", R"(
+define i8 @f(ptr %p, ptr %q) {
+entry:
+  store i8 1, ptr %p
+  store i8 2, ptr %q
+  %v = load i8, ptr %p
+  ret i8 %v
+}
+)",
+                 R"(
+define i8 @f(ptr %p, ptr %q) {
+entry:
+  store i8 1, ptr %p
+  store i8 2, ptr %q
+  ret i8 1
+}
+)",
+                 true));
+  S.push_back(mk("store-forward-same-ptr-ok", "correct", R"(
+define i8 @f(ptr %p) {
+entry:
+  store i8 7, ptr %p
+  %v = load i8, ptr %p
+  ret i8 %v
+}
+)",
+                 R"(
+define i8 @f(ptr %p) {
+entry:
+  store i8 7, ptr %p
+  ret i8 7
+}
+)",
+                 false));
+  S.push_back(mk("loop-accumulate-offbyone", "loop-mem", R"(
+define i8 @f(ptr %p) {
+entry:
+  br label %loop
+loop:
+  %i = phi i8 [ 0, %entry ], [ %in, %loop ]
+  %g = gep ptr %p, i8 %i
+  store i8 %i, ptr %g
+  %in = add i8 %i, 1
+  %c = icmp eq i8 %in, 2
+  br i1 %c, label %done, label %loop
+done:
+  ret i8 0
+}
+)",
+                 R"(
+define i8 @f(ptr %p) {
+entry:
+  store i8 0, ptr %p
+  %g1 = gep ptr %p, i8 1
+  store i8 2, ptr %g1
+  ret i8 0
+}
+)",
+                 true, 2));
+
+  S.push_back(mk("slp-bug1-nsw", "vector", R"(
+define i8 @f(ptr %x) {
+entry:
+  %a = load i8, ptr %x
+  %g1 = gep ptr %x, i64 1
+  %b = load i8, ptr %g1
+  %g2 = gep ptr %x, i64 2
+  %c = load i8, ptr %g2
+  %g3 = gep ptr %x, i64 3
+  %d = load i8, ptr %g3
+  %s1 = add nsw i8 %a, %b
+  %s2 = add nsw i8 %s1, %c
+  %r = add nsw i8 %s2, %d
+  ret i8 %r
+}
+)",
+                 R"(
+define i8 @f(ptr %x) {
+entry:
+  %v = load <4 x i8>, ptr %x
+  %lo = shufflevector <4 x i8> %v, <4 x i8> %v, <2 x i32> <i32 0, i32 1>
+  %hi = shufflevector <4 x i8> %v, <4 x i8> %v, <2 x i32> <i32 2, i32 3>
+  %w = add nsw <2 x i8> %lo, %hi
+  %e0 = extractelement <2 x i8> %w, i32 0
+  %e1 = extractelement <2 x i8> %w, i32 1
+  %r = add nsw i8 %e0, %e1
+  ret i8 %r
+}
+)",
+                 true));
+  S.push_back(mk("slp-bug1-fixed-ok", "correct", R"(
+define i8 @f(ptr %x) {
+entry:
+  %a = load i8, ptr %x
+  %g1 = gep ptr %x, i64 1
+  %b = load i8, ptr %g1
+  %g2 = gep ptr %x, i64 2
+  %c = load i8, ptr %g2
+  %g3 = gep ptr %x, i64 3
+  %d = load i8, ptr %g3
+  %s1 = add nsw i8 %a, %b
+  %s2 = add nsw i8 %s1, %c
+  %r = add nsw i8 %s2, %d
+  ret i8 %r
+}
+)",
+                 R"(
+define i8 @f(ptr %x) {
+entry:
+  %v = load <4 x i8>, ptr %x
+  %lo = shufflevector <4 x i8> %v, <4 x i8> %v, <2 x i32> <i32 0, i32 1>
+  %hi = shufflevector <4 x i8> %v, <4 x i8> %v, <2 x i32> <i32 2, i32 3>
+  %w = add <2 x i8> %lo, %hi
+  %e0 = extractelement <2 x i8> %w, i32 0
+  %e1 = extractelement <2 x i8> %w, i32 1
+  %r = add i8 %e0, %e1
+  ret i8 %r
+}
+)",
+                 false));
+  S.push_back(mk("memset-expansion-ok", "correct", R"(
+define i8 @f(ptr %p) {
+entry:
+  call void @llvm.memset.p0.i64(ptr %p, i8 7, i64 3)
+  %l = load i8, ptr %p
+  ret i8 %l
+}
+)",
+                 R"(
+define i8 @f(ptr %p) {
+entry:
+  call void @llvm.memset.p0.i64(ptr %p, i8 7, i64 3)
+  ret i8 7
+}
+)",
+                 false));
+  S.push_back(mk("memset-wrong-fill", "memory", R"(
+define void @f(ptr %p) {
+entry:
+  call void @llvm.memset.p0.i64(ptr %p, i8 7, i64 2)
+  ret void
+}
+)",
+                 R"(
+define void @f(ptr %p) {
+entry:
+  call void @llvm.memset.p0.i64(ptr %p, i8 8, i64 2)
+  ret void
+}
+)",
+                 true));
+  S.push_back(mk("memcpy-forward-ok", "correct", R"(
+define i8 @f(ptr %d, ptr %s) {
+entry:
+  store i8 9, ptr %s
+  call void @llvm.memcpy.p0.i64(ptr %d, ptr %s, i64 1)
+  %l = load i8, ptr %d
+  ret i8 %l
+}
+)",
+                 R"(
+define i8 @f(ptr %d, ptr %s) {
+entry:
+  store i8 9, ptr %s
+  call void @llvm.memcpy.p0.i64(ptr %d, ptr %s, i64 1)
+  %l = load i8, ptr %s
+  ret i8 %l
+}
+)",
+                 false));
+  S.push_back(mk("uaddsat-ok", "correct", R"(
+define i8 @f(i8 %a, i8 %b) {
+entry:
+  %s = add i8 %a, %b
+  %c = icmp ult i8 %s, %a
+  %r = select i1 %c, i8 -1, i8 %s
+  ret i8 %r
+}
+)",
+                 R"(
+define i8 @f(i8 %a, i8 %b) {
+entry:
+  %r = call i8 @llvm.uadd.sat.i8(i8 %a, i8 %b)
+  ret i8 %r
+}
+)",
+                 false));
+  S.push_back(mk("withoverflow-ok", "correct", R"(
+define i1 @f(i8 %a, i8 %b) {
+entry:
+  %s = add i8 %a, %b
+  %sx = sext i8 %a to i16
+  %sy = sext i8 %b to i16
+  %w = add i16 %sx, %sy
+  %t = sext i8 %s to i16
+  %c = icmp ne i16 %w, %t
+  ret i1 %c
+}
+)",
+                 R"(
+define i1 @f(i8 %a, i8 %b) {
+entry:
+  %agg = call {i8, i1} @llvm.sadd.with.overflow.i8(i8 %a, i8 %b)
+  %c = extractvalue {i8, i1} %agg, 1
+  ret i1 %c
+}
+)",
+                 false));
+
+  // --- fast-math bugs (3 in the paper; selected bug #2). --------------------
+  S.push_back(mk("fadd-zero-nsz", "fastmath", R"(
+define float @f(float %a, float %b) {
+entry:
+  %c = fmul nsz float %a, %b
+  %r = fadd float %c, 0.0
+  ret float %r
+}
+)",
+                 R"(
+define float @f(float %a, float %b) {
+entry:
+  %c = fmul nsz float %a, %b
+  ret float %c
+}
+)",
+                 true));
+  S.push_back(mk("fneg-involution-ok", "correct", R"(
+define float @f(float %a) {
+entry:
+  %n = fneg float %a
+  %r = fneg float %n
+  ret float %r
+}
+)",
+                 R"(
+define float @f(float %a) {
+entry:
+  ret float %a
+}
+)",
+                 false));
+  S.push_back(mk("nnan-invent", "fastmath", R"(
+define float @f(float %a, float %b) {
+entry:
+  %r = fadd float %a, %b
+  ret float %r
+}
+)",
+                 R"(
+define float @f(float %a, float %b) {
+entry:
+  %r = fadd nnan float %a, %b
+  ret float %r
+}
+)",
+                 true));
+
+  // --- bitcast int/fp ambiguity (3 in the paper). ---------------------------
+  S.push_back(mk("bitcast-roundtrip-nan", "bitcast", R"(
+define i32 @f(float %a) {
+entry:
+  %i = bitcast float %a to i32
+  ret i32 %i
+}
+)",
+                 R"(
+define i32 @f(float %a) {
+entry:
+  %i = bitcast float %a to i32
+  %g = freeze i32 %i
+  ret i32 %g
+}
+)",
+                 false));
+  S.push_back(mk("bitcast-int-fp-roundtrip", "bitcast", R"(
+define i32 @f(i32 %a) {
+entry:
+  %x = bitcast i32 %a to float
+  %y = bitcast float %x to i32
+  ret i32 %y
+}
+)",
+                 R"(
+define i32 @f(i32 %a) {
+entry:
+  ret i32 %a
+}
+)",
+                 true)); // wrong under NaN nondeterminism: the round trip
+                         // may perturb NaN payloads, ret %a may not
+
+  // --- memory miscompilations (17 in the paper). ----------------------------
+  S.push_back(mk("dse-observable", "memory", R"(
+define void @f(ptr %p) {
+entry:
+  store i8 1, ptr %p
+  ret void
+}
+)",
+                 R"(
+define void @f(ptr %p) {
+entry:
+  ret void
+}
+)",
+                 true));
+  S.push_back(mk("dse-local-ok", "correct", R"(
+define i8 @f(i8 %v) {
+entry:
+  %s = alloca i8
+  store i8 %v, ptr %s
+  ret i8 %v
+}
+)",
+                 R"(
+define i8 @f(i8 %v) {
+entry:
+  ret i8 %v
+}
+)",
+                 false));
+  S.push_back(mk("store-wrong-value", "memory", R"(
+define void @f(ptr %p) {
+entry:
+  store i8 1, ptr %p
+  ret void
+}
+)",
+                 R"(
+define void @f(ptr %p) {
+entry:
+  store i8 2, ptr %p
+  ret void
+}
+)",
+                 true));
+  S.push_back(mk("store-reorder-same-ok", "correct", R"(
+define void @f(ptr %p) {
+entry:
+  store i8 1, ptr %p
+  store i8 2, ptr %p
+  ret void
+}
+)",
+                 R"(
+define void @f(ptr %p) {
+entry:
+  store i8 2, ptr %p
+  ret void
+}
+)",
+                 false));
+  S.push_back(mk("oob-store-introduced", "memory", R"(
+define void @f() {
+entry:
+  %s = alloca i8
+  store i8 1, ptr %s
+  ret void
+}
+)",
+                 R"(
+define void @f() {
+entry:
+  %s = alloca i8
+  %g = gep ptr %s, i8 1
+  store i8 1, ptr %g
+  ret void
+}
+)",
+                 true));
+  S.push_back(mk("load-speculate-null", "memory", R"(
+define i8 @f(ptr %p, i1 %c) {
+entry:
+  br i1 %c, label %l, label %s
+l:
+  %v = load i8, ptr %p
+  ret i8 %v
+s:
+  ret i8 0
+}
+)",
+                 R"(
+define i8 @f(ptr %p, i1 %c) {
+entry:
+  %v = load i8, ptr %p
+  %r = select i1 %c, i8 %v, i8 0
+  ret i8 %r
+}
+)",
+                 true));
+  S.push_back(mk("load-speculate-nonnull-ok", "correct", R"(
+define i8 @f(ptr nonnull %p) {
+entry:
+  %v = load i8, ptr %p
+  ret i8 %v
+}
+)",
+                 R"(
+define i8 @f(ptr nonnull %p) {
+entry:
+  %v = load i8, ptr %p
+  ret i8 %v
+}
+)",
+                 false));
+
+  // --- calls (Section 6). ---------------------------------------------------
+  S.push_back(mk("call-introduced", "calls", R"(
+declare i8 @ext(i8)
+define i8 @f(i8 %a) {
+entry:
+  ret i8 %a
+}
+)",
+                 R"(
+declare i8 @ext(i8)
+define i8 @f(i8 %a) {
+entry:
+  %r = call i8 @ext(i8 %a)
+  ret i8 %a
+}
+)",
+                 true));
+  S.push_back(mk("call-dedup-unsafe", "calls", R"(
+declare i8 @ext(i8)
+define i8 @f(i8 %a) {
+entry:
+  %r1 = call i8 @ext(i8 %a)
+  %r2 = call i8 @ext(i8 %a)
+  %s = add i8 %r1, %r2
+  ret i8 %s
+}
+)",
+                 R"(
+declare i8 @ext(i8)
+define i8 @f(i8 %a) {
+entry:
+  %r1 = call i8 @ext(i8 %a)
+  %s = add i8 %r1, %r1
+  ret i8 %s
+}
+)",
+                 true)); // deduplicating calls to a function that may write
+                         // memory is wrong: the second call may observe the
+                         // first call's effects and return differently
+  S.push_back(mk("call-result-fabricated", "calls", R"(
+declare i8 @ext(i8)
+define i8 @f(i8 %a) {
+entry:
+  %r = call i8 @ext(i8 %a)
+  ret i8 %r
+}
+)",
+                 R"(
+declare i8 @ext(i8)
+define i8 @f(i8 %a) {
+entry:
+  %r = call i8 @ext(i8 %a)
+  ret i8 42
+}
+)",
+                 true));
+
+  // --- correct pairs exercising broader features. ---------------------------
+  S.push_back(mk("gvn-cse-ok", "correct", R"(
+define i16 @f(i16 %a, i16 %b) {
+entry:
+  %x = add i16 %a, %b
+  %y = add i16 %a, %b
+  %r = xor i16 %x, %y
+  ret i16 %r
+}
+)",
+                 R"(
+define i16 @f(i16 %a, i16 %b) {
+entry:
+  %x = add i16 %a, %b
+  %r = xor i16 %x, %x
+  ret i16 %r
+}
+)",
+                 false));
+  S.push_back(mk("simplifycfg-ok", "correct", R"(
+define i8 @f(i8 %a) {
+entry:
+  br i1 true, label %t, label %e
+t:
+  ret i8 %a
+e:
+  ret i8 0
+}
+)",
+                 R"(
+define i8 @f(i8 %a) {
+entry:
+  ret i8 %a
+}
+)",
+                 false));
+  S.push_back(mk("switch-fold-ok", "correct", R"(
+define i8 @f(i8 %a) {
+entry:
+  switch i8 %a, label %d [ 1, label %one  2, label %two ]
+one:
+  ret i8 10
+two:
+  ret i8 20
+d:
+  ret i8 0
+}
+)",
+                 R"(
+define i8 @f(i8 %a) {
+entry:
+  %c1 = icmp eq i8 %a, 1
+  br i1 %c1, label %one, label %n1
+n1:
+  %c2 = icmp eq i8 %a, 2
+  br i1 %c2, label %two, label %d
+one:
+  ret i8 10
+two:
+  ret i8 20
+d:
+  ret i8 0
+}
+)",
+                 false));
+  S.push_back(mk("intrinsic-smax-ok", "correct", R"(
+define i8 @f(i8 %a, i8 %b) {
+entry:
+  %c = icmp sgt i8 %a, %b
+  %m = select i1 %c, i8 %a, i8 %b
+  ret i8 %m
+}
+)",
+                 R"(
+define i8 @f(i8 %a, i8 %b) {
+entry:
+  %m = call i8 @llvm.smax.i8(i8 %a, i8 %b)
+  ret i8 %m
+}
+)",
+                 false));
+  // Poison-exploiting correct folds: the pairs a UB-blind equivalence
+  // checker false-alarms on (ablation E7).
+  S.push_back(mk("nsw-inc-sgt-ok", "correct", R"(
+define i8 @f(i8 %a) {
+entry:
+  %x = add nsw i8 %a, 1
+  %c = icmp sgt i8 %x, %a
+  %r = select i1 %c, i8 1, i8 0
+  ret i8 %r
+}
+)",
+                 R"(
+define i8 @f(i8 %a) {
+entry:
+  ret i8 1
+}
+)",
+                 false));
+  S.push_back(mk("nuw-inc-nonzero-ok", "correct", R"(
+define i1 @f(i8 %a) {
+entry:
+  %x = add nuw i8 %a, 1
+  %c = icmp ne i8 %x, 0
+  ret i1 %c
+}
+)",
+                 R"(
+define i1 @f(i8 %a) {
+entry:
+  ret i1 true
+}
+)",
+                 false));
+  S.push_back(mk("shl-nsw-positive-ok", "correct", R"(
+define i1 @f(i8 %a) {
+entry:
+  %x = mul nsw i8 %a, 2
+  %h = sdiv i8 %x, 2
+  %c = icmp eq i8 %h, %a
+  ret i1 %c
+}
+)",
+                 R"(
+define i1 @f(i8 %a) {
+entry:
+  ret i1 true
+}
+)",
+                 false));
+  S.push_back(mk("freeze-dup-ok", "correct", R"(
+define i8 @f(i8 %a) {
+entry:
+  %x = freeze i8 %a
+  ret i8 %x
+}
+)",
+                 R"(
+define i8 @f(i8 %a) {
+entry:
+  %x = freeze i8 %a
+  %y = freeze i8 %x
+  ret i8 %y
+}
+)",
+                 false));
+
+  // Loop-bound family for Figure 6: bugs at increasing iteration counts.
+  for (unsigned K : {1u, 2u, 3u, 4u, 6u, 8u, 12u, 16u, 24u, 32u}) {
+    S.push_back(loopBugAt(K));
+    S.push_back(loopFoldAt(K));
+  }
+  return S;
+}
+
+} // namespace
+
+const std::vector<TestPair> &corpus::unitTestSuite() {
+  static const std::vector<TestPair> Suite = buildSuite();
+  return Suite;
+}

@@ -1,0 +1,223 @@
+//===- ir/Function.cpp - Basic blocks, functions and modules ---------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+
+#include <cassert>
+#include <functional>
+#include <unordered_map>
+
+using namespace alive;
+using namespace alive::ir;
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  Instr *T = terminator();
+  if (!T)
+    return {};
+  if (auto *B = dyn_cast<Br>(T)) {
+    if (B->isConditional())
+      return {B->trueDest(), B->falseDest()};
+    return {B->trueDest()};
+  }
+  if (auto *S = dyn_cast<Switch>(T)) {
+    std::vector<BasicBlock *> Out{S->defaultDest()};
+    for (const auto &[V, BB] : S->cases())
+      Out.push_back(BB);
+    return Out;
+  }
+  return {}; // ret / unreachable
+}
+
+BasicBlock *Function::insertBlockAfter(BasicBlock *After,
+                                       std::string BlockName) {
+  auto NewBB = std::make_unique<BasicBlock>(std::move(BlockName));
+  NewBB->setParent(this);
+  BasicBlock *Raw = NewBB.get();
+  for (size_t I = 0; I < Blocks.size(); ++I) {
+    if (Blocks[I].get() == After) {
+      Blocks.emplace(Blocks.begin() + I + 1, std::move(NewBB));
+      return Raw;
+    }
+  }
+  Blocks.emplace_back(std::move(NewBB));
+  return Raw;
+}
+
+BasicBlock *Function::blockByName(const std::string &BlockName) const {
+  for (const auto &BB : Blocks)
+    if (BB->name() == BlockName)
+      return BB.get();
+  return nullptr;
+}
+
+ConstInt *Function::getConstInt(const Type *Ty, const BitVec &V) {
+  for (const auto &C : Constants)
+    if (auto *CI = dyn_cast<ConstInt>(C.get()))
+      if (CI->type() == Ty && CI->value() == V)
+        return CI;
+  Constants.emplace_back(std::make_unique<ConstInt>(Ty, V));
+  return cast<ConstInt>(Constants.back().get());
+}
+
+ConstFP *Function::getConstFP(const Type *Ty, const BitVec &Bits) {
+  for (const auto &C : Constants)
+    if (auto *CF = dyn_cast<ConstFP>(C.get()))
+      if (CF->type() == Ty && CF->bits() == Bits)
+        return CF;
+  Constants.emplace_back(std::make_unique<ConstFP>(Ty, Bits));
+  return cast<ConstFP>(Constants.back().get());
+}
+
+ConstNull *Function::getNull() {
+  for (const auto &C : Constants)
+    if (auto *CN = dyn_cast<ConstNull>(C.get()))
+      return CN;
+  Constants.emplace_back(std::make_unique<ConstNull>(Type::getPtr()));
+  return cast<ConstNull>(Constants.back().get());
+}
+
+UndefValue *Function::getUndef(const Type *Ty) {
+  for (const auto &C : Constants)
+    if (auto *U = dyn_cast<UndefValue>(C.get()))
+      if (U->type() == Ty)
+        return U;
+  Constants.emplace_back(std::make_unique<UndefValue>(Ty));
+  return cast<UndefValue>(Constants.back().get());
+}
+
+PoisonValue *Function::getPoison(const Type *Ty) {
+  for (const auto &C : Constants)
+    if (auto *P = dyn_cast<PoisonValue>(C.get()))
+      if (P->type() == Ty)
+        return P;
+  Constants.emplace_back(std::make_unique<PoisonValue>(Ty));
+  return cast<PoisonValue>(Constants.back().get());
+}
+
+ConstAggregate *Function::getConstAggregate(const Type *Ty,
+                                            std::vector<Value *> Elems) {
+  Constants.emplace_back(
+      std::make_unique<ConstAggregate>(Ty, std::move(Elems)));
+  return cast<ConstAggregate>(Constants.back().get());
+}
+
+size_t Function::instructionCount() const {
+  size_t N = 0;
+  for (const auto &BB : Blocks)
+    N += BB->size();
+  return N;
+}
+
+std::unique_ptr<Function> Function::clone() const {
+  auto NewF = std::make_unique<Function>(Name, RetTy);
+  std::unordered_map<const Value *, Value *> Map;
+
+  for (const auto &A : Args) {
+    Argument *NewA = NewF->addArg(A->type(), A->name());
+    NewA->setNonNull(A->isNonNull());
+    NewA->setNoUndef(A->isNoUndef());
+    Map[A.get()] = NewA;
+  }
+
+  // Clone constants lazily through this helper (aggregates recurse).
+  std::function<Value *(const Value *)> CloneConst =
+      [&](const Value *V) -> Value * {
+    auto It = Map.find(V);
+    if (It != Map.end())
+      return It->second;
+    Value *NewV = nullptr;
+    switch (V->kind()) {
+    case ValueKind::ConstInt:
+      NewV = NewF->getConstInt(V->type(), cast<ConstInt>(V)->value());
+      break;
+    case ValueKind::ConstFP:
+      NewV = NewF->getConstFP(V->type(), cast<ConstFP>(V)->bits());
+      break;
+    case ValueKind::ConstNull:
+      NewV = NewF->getNull();
+      break;
+    case ValueKind::Undef:
+      NewV = NewF->getUndef(V->type());
+      break;
+    case ValueKind::Poison:
+      NewV = NewF->getPoison(V->type());
+      break;
+    case ValueKind::ConstAggregate: {
+      std::vector<Value *> Elems;
+      for (Value *E : cast<ConstAggregate>(V)->elements())
+        Elems.push_back(CloneConst(E));
+      NewV = NewF->getConstAggregate(V->type(), std::move(Elems));
+      break;
+    }
+    case ValueKind::GlobalVar:
+      // Globals are module-owned; share the pointer.
+      return const_cast<Value *>(V);
+    default:
+      assert(false && "unexpected constant kind");
+    }
+    Map[V] = NewV;
+    return NewV;
+  };
+
+  std::unordered_map<const BasicBlock *, BasicBlock *> BBMap;
+  for (const auto &BB : Blocks)
+    BBMap[BB.get()] = NewF->addBlock(BB->name());
+
+  for (const auto &BB : Blocks) {
+    BasicBlock *NewBB = BBMap[BB.get()];
+    for (const auto &I : *BB) {
+      Instr *NewI = I->clone();
+      NewBB->append(NewI);
+      Map[I.get()] = NewI;
+    }
+  }
+
+  // Patch operands and block references.
+  auto MapValue = [&](Value *V) -> Value * {
+    auto It = Map.find(V);
+    if (It != Map.end())
+      return It->second;
+    assert((V->isConstant() || isa<GlobalVar>(V)) &&
+           "instruction operand cloned out of order");
+    return CloneConst(V);
+  };
+
+  for (const auto &BB : Blocks) {
+    BasicBlock *NewBB = BBMap[BB.get()];
+    for (size_t Idx = 0; Idx < BB->size(); ++Idx) {
+      Instr *NewI = NewBB->instr(Idx);
+      for (unsigned OpIdx = 0; OpIdx < NewI->numOps(); ++OpIdx)
+        NewI->setOp(OpIdx, MapValue(NewI->op(OpIdx)));
+      if (auto *P = dyn_cast<Phi>(NewI)) {
+        for (unsigned In = 0; In < P->numIncoming(); ++In)
+          P->setIncomingBlock(In, BBMap.at(P->incomingBlock(In)));
+      } else if (auto *B = dyn_cast<Br>(NewI)) {
+        B->setTrueDest(BBMap.at(B->trueDest()));
+        if (B->isConditional())
+          B->setFalseDest(BBMap.at(B->falseDest()));
+      } else if (auto *S = dyn_cast<Switch>(NewI)) {
+        S->setDefaultDest(BBMap.at(S->defaultDest()));
+        for (unsigned C = 0; C < S->cases().size(); ++C)
+          S->setCaseDest(C, BBMap.at(S->cases()[C].second));
+      }
+    }
+  }
+  return NewF;
+}
+
+Function *Module::functionByName(const std::string &Name) const {
+  for (const auto &F : Functions)
+    if (F->name() == Name)
+      return F.get();
+  return nullptr;
+}
+
+GlobalVar *Module::globalByName(const std::string &Name) const {
+  for (const auto &G : Globals)
+    if (G->name() == Name)
+      return G.get();
+  return nullptr;
+}

@@ -1,0 +1,107 @@
+//===- ir/Lexer.cpp - Tokenizer for the textual IR ---------------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Lexer.h"
+
+#include <cctype>
+
+using namespace alive;
+using namespace alive::ir;
+
+Lexer::Lexer(std::string In) : Input(std::move(In)) { Cur = lex(); }
+
+Token Lexer::next() {
+  Token T = Cur;
+  Cur = lex();
+  return T;
+}
+
+void Lexer::advanceChar() {
+  if (Pos < Input.size()) {
+    if (Input[Pos] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++Pos;
+  }
+}
+
+static bool isIdentChar(char C) {
+  return std::isalnum((unsigned char)C) || C == '_' || C == '.' || C == '!';
+}
+
+Token Lexer::lex() {
+  // Skip whitespace and comments.
+  while (true) {
+    char C = current();
+    if (C == ';') {
+      while (current() != '\n' && current() != '\0')
+        advanceChar();
+      continue;
+    }
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advanceChar();
+      continue;
+    }
+    break;
+  }
+
+  Token T;
+  T.Line = Line;
+  T.Col = Col;
+  char C = current();
+  if (C == '\0') {
+    T.K = Token::Kind::Eof;
+    return T;
+  }
+
+  if (C == '%' || C == '@') {
+    bool Local = C == '%';
+    advanceChar();
+    std::string Name;
+    while (isIdentChar(current())) {
+      Name.push_back(current());
+      advanceChar();
+    }
+    T.K = Local ? Token::Kind::LocalId : Token::Kind::GlobalId;
+    T.Text = std::move(Name);
+    return T;
+  }
+
+  if (std::isdigit((unsigned char)C) ||
+      (C == '-' && Pos + 1 < Input.size() &&
+       std::isdigit((unsigned char)Input[Pos + 1]))) {
+    std::string Num;
+    Num.push_back(C);
+    advanceChar();
+    while (std::isalnum((unsigned char)current()) || current() == '.' ||
+           current() == 'x' || current() == 'X') {
+      Num.push_back(current());
+      advanceChar();
+    }
+    T.K = Token::Kind::Number;
+    T.Text = std::move(Num);
+    return T;
+  }
+
+  if (std::isalpha((unsigned char)C) || C == '_') {
+    std::string Word;
+    while (isIdentChar(current())) {
+      Word.push_back(current());
+      advanceChar();
+    }
+    T.K = Token::Kind::Word;
+    T.Text = std::move(Word);
+    return T;
+  }
+
+  T.K = Token::Kind::Punct;
+  T.Ch = C;
+  advanceChar();
+  return T;
+}

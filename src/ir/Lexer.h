@@ -1,0 +1,62 @@
+//===- ir/Lexer.h - Tokenizer for the textual IR ----------------*- C++ -*-==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the LLVM-like textual IR format. Comments run from ';' to
+/// end of line. Keywords are contextual: the lexer only distinguishes
+/// identifiers, %locals, @globals, numbers and punctuation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE2RE_IR_LEXER_H
+#define ALIVE2RE_IR_LEXER_H
+
+#include <string>
+
+namespace alive::ir {
+
+struct Token {
+  enum class Kind : uint8_t {
+    Eof,
+    Word,     // identifiers and keywords: define, i32, add, entry, ...
+    LocalId,  // %name
+    GlobalId, // @name
+    Number,   // integer literal (possibly negative) or float literal
+    Punct,    // single char: , ( ) { } [ ] < > = : * ...
+  };
+
+  Kind K = Kind::Eof;
+  std::string Text; // word/identifier text or number spelling
+  char Ch = 0;      // punctuation character
+  unsigned Line = 1, Col = 1;
+
+  bool is(Kind Kd) const { return K == Kd; }
+  bool isWord(const char *W) const { return K == Kind::Word && Text == W; }
+  bool isPunct(char C) const { return K == Kind::Punct && Ch == C; }
+};
+
+/// Single-pass tokenizer with one token of lookahead (via peek()).
+class Lexer {
+public:
+  explicit Lexer(std::string Input);
+
+  const Token &peek() const { return Cur; }
+  Token next();
+
+private:
+  std::string Input;
+  size_t Pos = 0;
+  unsigned Line = 1, Col = 1;
+  Token Cur;
+
+  void advanceChar();
+  char current() const { return Pos < Input.size() ? Input[Pos] : '\0'; }
+  Token lex();
+};
+
+} // namespace alive::ir
+
+#endif // ALIVE2RE_IR_LEXER_H

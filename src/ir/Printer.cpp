@@ -1,0 +1,249 @@
+//===- ir/Printer.cpp - Textual IR printer -----------------------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+using namespace alive;
+using namespace alive::ir;
+
+namespace {
+
+std::string typedOperand(const Value *V) {
+  return V->type()->str() + " " + V->operandStr();
+}
+
+} // namespace
+
+std::string ir::printInstr(const Instr &I) {
+  std::string S;
+  if (!I.name().empty())
+    S += "%" + I.name() + " = ";
+
+  switch (I.kind()) {
+  case ValueKind::BinOp: {
+    const auto &B = *cast<BinOp>(&I);
+    S += BinOp::opName(B.getOp());
+    if (B.flags().NUW)
+      S += " nuw";
+    if (B.flags().NSW)
+      S += " nsw";
+    if (B.flags().Exact)
+      S += " exact";
+    S += " " + I.type()->str() + " " + B.op(0)->operandStr() + ", " +
+         B.op(1)->operandStr();
+    break;
+  }
+  case ValueKind::FBinOp: {
+    const auto &B = *cast<FBinOp>(&I);
+    S += FBinOp::opName(B.getOp());
+    if (B.fmf().NNan)
+      S += " nnan";
+    if (B.fmf().NInf)
+      S += " ninf";
+    if (B.fmf().NSZ)
+      S += " nsz";
+    S += " " + I.type()->str() + " " + B.op(0)->operandStr() + ", " +
+         B.op(1)->operandStr();
+    break;
+  }
+  case ValueKind::FNeg:
+    S += "fneg " + typedOperand(I.op(0));
+    break;
+  case ValueKind::ICmp: {
+    const auto &C = *cast<ICmp>(&I);
+    S += std::string("icmp ") + ICmp::predName(C.pred()) + " " +
+         typedOperand(C.op(0)) + ", " + C.op(1)->operandStr();
+    break;
+  }
+  case ValueKind::FCmp: {
+    const auto &C = *cast<FCmp>(&I);
+    S += std::string("fcmp ") + FCmp::predName(C.pred()) + " " +
+         typedOperand(C.op(0)) + ", " + C.op(1)->operandStr();
+    break;
+  }
+  case ValueKind::Select:
+    S += "select " + typedOperand(I.op(0)) + ", " + typedOperand(I.op(1)) +
+         ", " + typedOperand(I.op(2));
+    break;
+  case ValueKind::Freeze:
+    S += "freeze " + typedOperand(I.op(0));
+    break;
+  case ValueKind::Cast: {
+    const auto &C = *cast<Cast>(&I);
+    S += std::string(Cast::opName(C.getOp())) + " " + typedOperand(C.op(0)) +
+         " to " + I.type()->str();
+    break;
+  }
+  case ValueKind::Phi: {
+    const auto &P = *cast<Phi>(&I);
+    S += "phi " + I.type()->str() + " ";
+    for (unsigned K = 0; K < P.numIncoming(); ++K) {
+      if (K)
+        S += ", ";
+      S += "[ " + P.incomingValue(K)->operandStr() + ", %" +
+           P.incomingBlock(K)->name() + " ]";
+    }
+    break;
+  }
+  case ValueKind::Br: {
+    const auto &B = *cast<Br>(&I);
+    if (B.isConditional())
+      S += "br " + typedOperand(B.cond()) + ", label %" +
+           B.trueDest()->name() + ", label %" + B.falseDest()->name();
+    else
+      S += "br label %" + B.trueDest()->name();
+    break;
+  }
+  case ValueKind::Switch: {
+    const auto &Sw = *cast<Switch>(&I);
+    S += "switch " + typedOperand(Sw.cond()) + ", label %" +
+         Sw.defaultDest()->name() + " [ ";
+    for (const auto &[V, BB] : Sw.cases())
+      S += V.toString() + ", label %" + BB->name() + "  ";
+    S += "]";
+    break;
+  }
+  case ValueKind::Ret: {
+    const auto &R = *cast<Ret>(&I);
+    S += R.hasValue() ? "ret " + typedOperand(R.value()) : "ret void";
+    break;
+  }
+  case ValueKind::Unreachable:
+    S += "unreachable";
+    break;
+  case ValueKind::Alloca: {
+    const auto &A = *cast<Alloca>(&I);
+    S += "alloca " + A.allocType()->str();
+    if (A.align() != 1)
+      S += ", align " + std::to_string(A.align());
+    break;
+  }
+  case ValueKind::Load: {
+    const auto &L = *cast<Load>(&I);
+    S += "load " + I.type()->str() + ", " + typedOperand(L.ptr());
+    if (L.align() != 1)
+      S += ", align " + std::to_string(L.align());
+    break;
+  }
+  case ValueKind::Store: {
+    const auto &St = *cast<Store>(&I);
+    S += "store " + typedOperand(St.value()) + ", " + typedOperand(St.ptr());
+    if (St.align() != 1)
+      S += ", align " + std::to_string(St.align());
+    break;
+  }
+  case ValueKind::Gep: {
+    const auto &G = *cast<Gep>(&I);
+    S += "gep ";
+    if (G.inBounds())
+      S += "inbounds ";
+    S += typedOperand(G.base()) + ", " + typedOperand(G.index());
+    if (G.scale() != 1)
+      S += ", " + std::to_string(G.scale());
+    break;
+  }
+  case ValueKind::Call: {
+    const auto &C = *cast<Call>(&I);
+    S += "call " + I.type()->str() + " @" + C.callee() + "(";
+    for (unsigned K = 0; K < C.numOps(); ++K) {
+      if (K)
+        S += ", ";
+      S += typedOperand(C.op(K));
+    }
+    S += ")";
+    break;
+  }
+  case ValueKind::ExtractElement:
+    S += "extractelement " + typedOperand(I.op(0)) + ", " +
+         typedOperand(I.op(1));
+    break;
+  case ValueKind::InsertElement:
+    S += "insertelement " + typedOperand(I.op(0)) + ", " +
+         typedOperand(I.op(1)) + ", " + typedOperand(I.op(2));
+    break;
+  case ValueKind::ShuffleVector: {
+    const auto &Sh = *cast<ShuffleVector>(&I);
+    S += "shufflevector " + typedOperand(Sh.op(0)) + ", " +
+         typedOperand(Sh.op(1)) + ", <" +
+         std::to_string(Sh.mask().size()) + " x i32> <";
+    for (size_t K = 0; K < Sh.mask().size(); ++K) {
+      if (K)
+        S += ", ";
+      S += "i32 ";
+      S += Sh.mask()[K] < 0 ? "undef" : std::to_string(Sh.mask()[K]);
+    }
+    S += ">";
+    break;
+  }
+  case ValueKind::ExtractValue: {
+    const auto &E = *cast<ExtractValue>(&I);
+    S += "extractvalue " + typedOperand(E.aggregate()) + ", " +
+         std::to_string(E.index());
+    break;
+  }
+  case ValueKind::InsertValue: {
+    const auto &IV = *cast<InsertValue>(&I);
+    S += "insertvalue " + typedOperand(IV.aggregate()) + ", " +
+         typedOperand(IV.element()) + ", " + std::to_string(IV.index());
+    break;
+  }
+  default:
+    S += "<unknown instr>";
+    break;
+  }
+  return S;
+}
+
+std::string ir::printFunction(const Function &F) {
+  std::string S;
+  if (F.isDeclaration()) {
+    S += "declare " + F.returnType()->str() + " @" + F.name() + "(";
+    for (unsigned I = 0; I < F.numArgs(); ++I) {
+      if (I)
+        S += ", ";
+      S += F.arg(I)->type()->str();
+    }
+    return S + ")\n";
+  }
+  S += "define " + F.returnType()->str() + " @" + F.name() + "(";
+  for (unsigned I = 0; I < F.numArgs(); ++I) {
+    if (I)
+      S += ", ";
+    const Argument *A = F.arg(I);
+    S += A->type()->str();
+    if (A->isNonNull())
+      S += " nonnull";
+    if (A->isNoUndef())
+      S += " noundef";
+    S += " %" + A->name();
+  }
+  S += ") {\n";
+  for (unsigned BI = 0; BI < F.numBlocks(); ++BI) {
+    const BasicBlock *BB = F.block(BI);
+    S += BB->name() + ":\n";
+    for (const auto &I : *BB)
+      S += "  " + printInstr(*I) + "\n";
+  }
+  S += "}\n";
+  return S;
+}
+
+std::string ir::printModule(const Module &M) {
+  std::string S;
+  for (unsigned I = 0; I < M.numGlobals(); ++I) {
+    const GlobalVar *G = M.global(I);
+    S += "@" + G->name() + " = " +
+         (G->isConstant() ? std::string("constant ") : std::string("global ")) +
+         G->valueType()->str() + "\n";
+  }
+  if (M.numGlobals())
+    S += "\n";
+  for (unsigned I = 0; I < M.numFunctions(); ++I) {
+    S += printFunction(*M.function(I));
+    S += "\n";
+  }
+  return S;
+}

@@ -1,0 +1,28 @@
+//===- ir/Printer.h - Textual IR printer ------------------------*- C++ -*-==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders modules/functions/instructions in the textual format accepted by
+/// the parser, so print -> parse round-trips.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE2RE_IR_PRINTER_H
+#define ALIVE2RE_IR_PRINTER_H
+
+#include "ir/Function.h"
+
+#include <string>
+
+namespace alive::ir {
+
+std::string printInstr(const Instr &I);
+std::string printFunction(const Function &F);
+std::string printModule(const Module &M);
+
+} // namespace alive::ir
+
+#endif // ALIVE2RE_IR_PRINTER_H

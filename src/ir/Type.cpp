@@ -1,0 +1,193 @@
+//===- ir/Type.cpp - IR type system ----------------------------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Type.h"
+
+#include <cassert>
+#include <map>
+#include <memory>
+
+using namespace alive;
+using namespace alive::ir;
+
+namespace alive::ir {
+
+/// Owns all interned types for the process lifetime.
+class TypeContext {
+public:
+  static TypeContext &get() {
+    static TypeContext Ctx;
+    return Ctx;
+  }
+
+  Type Void{Type::Kind::Void};
+  Type Float{Type::Kind::Float};
+  Type Double{Type::Kind::Double};
+  Type Ptr{Type::Kind::Ptr};
+  std::map<unsigned, std::unique_ptr<Type>> Ints;
+  std::map<std::pair<const Type *, unsigned>, std::unique_ptr<Type>> Vectors;
+  std::map<std::pair<const Type *, unsigned>, std::unique_ptr<Type>> Arrays;
+  std::map<std::vector<const Type *>, std::unique_ptr<Type>> Structs;
+
+private:
+  TypeContext() = default;
+};
+
+} // namespace alive::ir
+
+const Type *Type::getVoid() { return &TypeContext::get().Void; }
+const Type *Type::getFloat() { return &TypeContext::get().Float; }
+const Type *Type::getDouble() { return &TypeContext::get().Double; }
+const Type *Type::getPtr() { return &TypeContext::get().Ptr; }
+
+const Type *Type::getInt(unsigned Bits) {
+  assert(Bits >= 1 && Bits <= 64 && "unsupported integer width");
+  auto &Slot = TypeContext::get().Ints[Bits];
+  if (!Slot) {
+    Slot.reset(new Type(Kind::Int));
+    Slot->Bits = Bits;
+  }
+  return Slot.get();
+}
+
+const Type *Type::getVector(const Type *Elem, unsigned Count) {
+  assert(Elem->isScalar() && "vector elements must be scalar");
+  assert(Count >= 1 && "empty vector type");
+  auto &Slot = TypeContext::get().Vectors[{Elem, Count}];
+  if (!Slot) {
+    Slot.reset(new Type(Kind::Vector));
+    Slot->Elem = Elem;
+    Slot->Count = Count;
+  }
+  return Slot.get();
+}
+
+const Type *Type::getArray(const Type *Elem, unsigned Count) {
+  assert(Count >= 1 && "empty array type");
+  auto &Slot = TypeContext::get().Arrays[{Elem, Count}];
+  if (!Slot) {
+    Slot.reset(new Type(Kind::Array));
+    Slot->Elem = Elem;
+    Slot->Count = Count;
+  }
+  return Slot.get();
+}
+
+const Type *Type::getStruct(std::vector<const Type *> Fields) {
+  assert(!Fields.empty() && "empty struct type");
+  auto &Slot = TypeContext::get().Structs[Fields];
+  if (!Slot) {
+    Slot.reset(new Type(Kind::Struct));
+    Slot->Fields = std::move(Fields);
+  }
+  return Slot.get();
+}
+
+unsigned Type::bitWidth() const {
+  switch (K) {
+  case Kind::Void:
+    return 0;
+  case Kind::Int:
+    return Bits;
+  case Kind::Float:
+    return 32;
+  case Kind::Double:
+    return 64;
+  case Kind::Ptr:
+    return 64;
+  case Kind::Vector:
+  case Kind::Array:
+    return Count * Elem->bitWidth();
+  case Kind::Struct: {
+    unsigned Total = 0;
+    for (const Type *F : Fields)
+      Total += F->bitWidth();
+    return Total;
+  }
+  }
+  return 0;
+}
+
+unsigned Type::storeSize() const {
+  switch (K) {
+  case Kind::Void:
+    return 0;
+  case Kind::Int:
+    return (Bits + 7) / 8;
+  case Kind::Float:
+    return 4;
+  case Kind::Double:
+    return 8;
+  case Kind::Ptr:
+    return 8;
+  case Kind::Vector:
+  case Kind::Array:
+    return Count * Elem->storeSize();
+  case Kind::Struct: {
+    unsigned Total = 0;
+    for (const Type *F : Fields)
+      Total += F->storeSize();
+    return Total;
+  }
+  }
+  return 0;
+}
+
+unsigned Type::numElements() const {
+  switch (K) {
+  case Kind::Vector:
+  case Kind::Array:
+    return Count;
+  case Kind::Struct:
+    return (unsigned)Fields.size();
+  default:
+    return 0;
+  }
+}
+
+const Type *Type::elementType(unsigned Index) const {
+  switch (K) {
+  case Kind::Vector:
+  case Kind::Array:
+    assert(Index < Count && "element index out of range");
+    return Elem;
+  case Kind::Struct:
+    assert(Index < Fields.size() && "field index out of range");
+    return Fields[Index];
+  default:
+    assert(false && "elementType on a scalar");
+    return nullptr;
+  }
+}
+
+std::string Type::str() const {
+  switch (K) {
+  case Kind::Void:
+    return "void";
+  case Kind::Int:
+    return "i" + std::to_string(Bits);
+  case Kind::Float:
+    return "float";
+  case Kind::Double:
+    return "double";
+  case Kind::Ptr:
+    return "ptr";
+  case Kind::Vector:
+    return "<" + std::to_string(Count) + " x " + Elem->str() + ">";
+  case Kind::Array:
+    return "[" + std::to_string(Count) + " x " + Elem->str() + "]";
+  case Kind::Struct: {
+    std::string S = "{";
+    for (size_t I = 0; I < Fields.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += Fields[I]->str();
+    }
+    return S + "}";
+  }
+  }
+  return "?";
+}

@@ -1,0 +1,95 @@
+//===- ir/Type.h - IR type system -------------------------------*- C++ -*-==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The type system of the LLVM-like IR substrate (see Section 2 of the
+/// paper): fixed-width integers, float/double, logical pointers, vectors,
+/// arrays and structures. Types are interned in a global context, so pointer
+/// equality is type equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE2RE_IR_TYPE_H
+#define ALIVE2RE_IR_TYPE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alive::ir {
+
+/// An interned IR type. Obtain instances through the static factories;
+/// compare with pointer equality.
+class Type {
+public:
+  enum class Kind : uint8_t {
+    Void,
+    Int,    // iN, 1 <= N <= 64
+    Float,  // IEEE binary32
+    Double, // IEEE binary64
+    Ptr,    // logical pointer (block id, offset)
+    Vector, // <N x elem>, homogeneous, constant-indexed
+    Array,  // [N x elem], homogeneous, variable-indexed
+    Struct, // {T0, T1, ...}, heterogeneous
+  };
+
+  Kind kind() const { return K; }
+  bool isVoid() const { return K == Kind::Void; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isFloat() const { return K == Kind::Float; }
+  bool isDouble() const { return K == Kind::Double; }
+  bool isFP() const { return isFloat() || isDouble(); }
+  bool isPtr() const { return K == Kind::Ptr; }
+  bool isVector() const { return K == Kind::Vector; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isStruct() const { return K == Kind::Struct; }
+  bool isAggregate() const { return isVector() || isArray() || isStruct(); }
+  /// Scalar = int, fp or pointer (a valid vector element or phi-able value).
+  bool isScalar() const { return isInt() || isFP() || isPtr(); }
+
+  /// Integer width; only valid for Int.
+  unsigned intWidth() const { return Bits; }
+
+  /// Width of the value when flattened to bits for the SMT encoding.
+  /// Pointers count as 64 bits at the type level (bid+offset packing is an
+  /// encoder detail); aggregates are the sum of their elements.
+  unsigned bitWidth() const;
+
+  /// Size in bytes when stored to memory (elements padded to whole bytes).
+  unsigned storeSize() const;
+
+  /// Number of contained elements; 0 for scalars.
+  unsigned numElements() const;
+  /// Element type at \p Index (vector/array ignore the index).
+  const Type *elementType(unsigned Index = 0) const;
+
+  std::string str() const;
+
+  // Factories (interned).
+  static const Type *getVoid();
+  static const Type *getInt(unsigned Bits);
+  static const Type *getBool() { return getInt(1); }
+  static const Type *getFloat();
+  static const Type *getDouble();
+  static const Type *getPtr();
+  static const Type *getVector(const Type *Elem, unsigned Count);
+  static const Type *getArray(const Type *Elem, unsigned Count);
+  static const Type *getStruct(std::vector<const Type *> Fields);
+
+private:
+  Kind K;
+  unsigned Bits = 0;            // Int width
+  const Type *Elem = nullptr;   // Vector/Array element
+  unsigned Count = 0;           // Vector/Array length
+  std::vector<const Type *> Fields; // Struct members
+
+  Type(Kind K) : K(K) {}
+  friend class TypeContext;
+};
+
+} // namespace alive::ir
+
+#endif // ALIVE2RE_IR_TYPE_H

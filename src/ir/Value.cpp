@@ -1,0 +1,77 @@
+//===- ir/Value.cpp - IR values and constants -------------------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Value.h"
+#include "ir/Instr.h"
+
+#include <cstring>
+
+using namespace alive;
+using namespace alive::ir;
+
+double ConstFP::toDouble() const {
+  if (type()->isFloat()) {
+    uint32_t Raw = (uint32_t)Bits.low64();
+    float F;
+    std::memcpy(&F, &Raw, sizeof(F));
+    return F;
+  }
+  uint64_t Raw = Bits.low64();
+  double D;
+  std::memcpy(&D, &Raw, sizeof(D));
+  return D;
+}
+
+BitVec ConstFP::encode(const Type *Ty, double V) {
+  if (Ty->isFloat()) {
+    float F = (float)V;
+    uint32_t Raw;
+    std::memcpy(&Raw, &F, sizeof(F));
+    return BitVec(32, Raw);
+  }
+  uint64_t Raw;
+  std::memcpy(&Raw, &V, sizeof(V));
+  return BitVec(64, Raw);
+}
+
+std::string Value::operandStr() const {
+  switch (K) {
+  case ValueKind::ConstInt: {
+    const auto *CI = static_cast<const ConstInt *>(this);
+    if (Ty->intWidth() == 1)
+      return CI->value().isZero() ? "false" : "true";
+    return CI->value().toSignedString();
+  }
+  case ValueKind::ConstFP: {
+    const auto *CF = static_cast<const ConstFP *>(this);
+    return "0xfp" + CF->bits().toHexString().substr(2);
+  }
+  case ValueKind::ConstNull:
+    return "null";
+  case ValueKind::Undef:
+    return "undef";
+  case ValueKind::Poison:
+    return "poison";
+  case ValueKind::ConstAggregate: {
+    const auto *CA = static_cast<const ConstAggregate *>(this);
+    char Open = Ty->isVector() ? '<' : Ty->isArray() ? '[' : '{';
+    char Close = Ty->isVector() ? '>' : Ty->isArray() ? ']' : '}';
+    std::string S(1, Open);
+    const auto &Elems = CA->elements();
+    for (size_t I = 0; I < Elems.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += Elems[I]->type()->str() + " " + Elems[I]->operandStr();
+    }
+    S += Close;
+    return S;
+  }
+  case ValueKind::GlobalVar:
+    return "@" + Name;
+  default:
+    return "%" + Name;
+  }
+}

@@ -1,0 +1,231 @@
+//===- ir/Verifier.cpp - IR structural verifier ------------------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+#include "analysis/Dominators.h"
+#include "ir/Printer.h"
+
+#include <unordered_set>
+
+using namespace alive;
+using namespace alive::ir;
+
+namespace {
+
+class VerifierImpl {
+public:
+  VerifierImpl(const Function &F, Diag &Err) : F(F), Err(Err) {}
+
+  bool run();
+
+private:
+  const Function &F;
+  Diag &Err;
+
+  bool fail(const std::string &Msg) {
+    Err = Diag(0, 0, "in @" + F.name() + ": " + Msg);
+    return false;
+  }
+  bool failAt(const Instr &I, const std::string &Msg) {
+    return fail(Msg + " in '" + printInstr(I) + "'");
+  }
+
+  bool checkTypes(const Instr &I);
+};
+
+bool VerifierImpl::run() {
+  if (F.isDeclaration())
+    return true;
+  if (!F.entry())
+    return fail("function has no blocks");
+
+  // Unique block names and terminator presence.
+  std::unordered_set<std::string> BlockNames;
+  for (unsigned BI = 0; BI < F.numBlocks(); ++BI) {
+    const BasicBlock *BB = F.block(BI);
+    if (!BlockNames.insert(BB->name()).second)
+      return fail("duplicate block name %" + BB->name());
+    if (!BB->terminator())
+      return fail("block %" + BB->name() + " lacks a terminator");
+    for (unsigned I = 0; I < BB->size(); ++I) {
+      const Instr *In = BB->instr(I);
+      if (In->isTerminator() && I + 1 != BB->size())
+        return fail("terminator in the middle of block %" + BB->name());
+      if (isa<Phi>(In) && I > 0 && !isa<Phi>(BB->instr(I - 1)))
+        return failAt(*In, "phi after a non-phi instruction");
+    }
+  }
+
+  // Unique value names.
+  std::unordered_set<std::string> ValueNames;
+  for (unsigned I = 0; I < F.numArgs(); ++I)
+    if (!ValueNames.insert(F.arg(I)->name()).second)
+      return fail("duplicate argument name %" + F.arg(I)->name());
+  for (unsigned BI = 0; BI < F.numBlocks(); ++BI)
+    for (const auto &I : *F.block(BI))
+      if (!I->name().empty() && !ValueNames.insert(I->name()).second)
+        return fail("duplicate value name %" + I->name());
+
+  analysis::Cfg G(F);
+  analysis::DomTree DT(G);
+
+  // Phi incoming edges must exactly match predecessors; defs dominate uses.
+  for (unsigned BI = 0; BI < F.numBlocks(); ++BI) {
+    const BasicBlock *BB = F.block(BI);
+    if (!G.isReachable(BB))
+      continue;
+    const auto &Preds = G.preds(BB);
+    for (unsigned Idx = 0; Idx < BB->size(); ++Idx) {
+      const Instr *I = BB->instr(Idx);
+      if (!checkTypes(*I))
+        return false;
+      if (const auto *P = dyn_cast<Phi>(I)) {
+        // Each reachable predecessor must appear exactly once.
+        for (const BasicBlock *Pred : Preds) {
+          unsigned Count = 0;
+          for (unsigned K = 0; K < P->numIncoming(); ++K)
+            if (P->incomingBlock(K) == Pred)
+              ++Count;
+          if (Count != 1)
+            return failAt(*I, "phi does not have exactly one entry for "
+                              "predecessor %" +
+                                  Pred->name());
+        }
+        // Dominance of incoming values relative to the incoming edge.
+        for (unsigned K = 0; K < P->numIncoming(); ++K) {
+          const Value *V = P->incomingValue(K);
+          if (const auto *DefI = dyn_cast<Instr>(V)) {
+            const BasicBlock *In = P->incomingBlock(K);
+            if (!G.isReachable(In))
+              continue;
+            if (!DT.dominates(DefI->parent(), In))
+              return failAt(*I, "phi incoming value %" + V->name() +
+                                    " does not dominate edge from %" +
+                                    In->name());
+          }
+        }
+        continue;
+      }
+      for (unsigned OpIdx = 0; OpIdx < I->numOps(); ++OpIdx) {
+        const Value *V = I->op(OpIdx);
+        if (const auto *DefI = dyn_cast<Instr>(V)) {
+          if (!DT.dominatesUse(DefI, BB, Idx))
+            return failAt(*I, "use of %" + V->name() +
+                                  " is not dominated by its definition");
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool VerifierImpl::checkTypes(const Instr &I) {
+  auto sameType = [&](const Value *A, const Value *B) {
+    return A->type() == B->type();
+  };
+  switch (I.kind()) {
+  case ValueKind::BinOp: {
+    const Type *Ty = I.type();
+    const Type *ElemTy = Ty->isVector() ? Ty->elementType() : Ty;
+    if (!ElemTy->isInt())
+      return failAt(I, "integer binop on non-integer type");
+    if (!sameType(I.op(0), I.op(1)) || I.op(0)->type() != Ty)
+      return failAt(I, "operand type mismatch");
+    return true;
+  }
+  case ValueKind::FBinOp: {
+    const Type *Ty = I.type();
+    const Type *ElemTy = Ty->isVector() ? Ty->elementType() : Ty;
+    if (!ElemTy->isFP())
+      return failAt(I, "fp binop on non-fp type");
+    if (!sameType(I.op(0), I.op(1)) || I.op(0)->type() != Ty)
+      return failAt(I, "operand type mismatch");
+    return true;
+  }
+  case ValueKind::FNeg:
+    if (!I.type()->isFP() && !(I.type()->isVector() &&
+                               I.type()->elementType()->isFP()))
+      return failAt(I, "fneg on non-fp type");
+    return true;
+  case ValueKind::ICmp:
+  case ValueKind::FCmp:
+    if (!sameType(I.op(0), I.op(1)))
+      return failAt(I, "comparison operand types differ");
+    return true;
+  case ValueKind::Select:
+    if (!I.op(0)->type()->isInt() || I.op(0)->type()->intWidth() != 1)
+      return failAt(I, "select condition must be i1");
+    if (!sameType(I.op(1), I.op(2)) || I.op(1)->type() != I.type())
+      return failAt(I, "select arm type mismatch");
+    return true;
+  case ValueKind::Br: {
+    const auto &B = *cast<Br>(&I);
+    if (B.isConditional() &&
+        (!B.cond()->type()->isInt() || B.cond()->type()->intWidth() != 1))
+      return failAt(I, "branch condition must be i1");
+    return true;
+  }
+  case ValueKind::Switch:
+    if (!cast<Switch>(&I)->cond()->type()->isInt())
+      return failAt(I, "switch condition must be an integer");
+    return true;
+  case ValueKind::Ret: {
+    const auto &R = *cast<Ret>(&I);
+    const Type *Expected = I.parent()->parent()->returnType();
+    if (R.hasValue() ? R.value()->type() != Expected : !Expected->isVoid())
+      return failAt(I, "return type mismatch");
+    return true;
+  }
+  case ValueKind::Load:
+  case ValueKind::Gep:
+    if (!I.op(I.kind() == ValueKind::Load ? 0 : 0)->type()->isPtr())
+      return failAt(I, "pointer operand expected");
+    return true;
+  case ValueKind::Store:
+    if (!cast<Store>(&I)->ptr()->type()->isPtr())
+      return failAt(I, "pointer operand expected");
+    return true;
+  case ValueKind::ExtractElement:
+    if (!I.op(0)->type()->isVector())
+      return failAt(I, "extractelement needs a vector");
+    return true;
+  case ValueKind::InsertElement:
+    if (!I.op(0)->type()->isVector() ||
+        I.op(1)->type() != I.op(0)->type()->elementType())
+      return failAt(I, "insertelement type mismatch");
+    return true;
+  case ValueKind::ShuffleVector: {
+    if (!I.op(0)->type()->isVector() || !sameType(I.op(0), I.op(1)))
+      return failAt(I, "shufflevector needs two vectors of the same type");
+    const auto &Sh = *cast<ShuffleVector>(&I);
+    int Limit = (int)(2 * I.op(0)->type()->numElements());
+    for (int MIdx : Sh.mask())
+      if (MIdx >= Limit)
+        return failAt(I, "shuffle mask index out of range");
+    return true;
+  }
+  case ValueKind::ExtractValue:
+  case ValueKind::InsertValue:
+    if (!I.op(0)->type()->isAggregate())
+      return failAt(I, "aggregate operand expected");
+    return true;
+  default:
+    return true;
+  }
+}
+
+} // namespace
+
+bool ir::verifyFunction(const Function &F, Diag &Err) {
+  return VerifierImpl(F, Err).run();
+}
+
+bool ir::verifyModule(const Module &M, Diag &Err) {
+  for (unsigned I = 0; I < M.numFunctions(); ++I)
+    if (!verifyFunction(*M.function(I), Err))
+      return false;
+  return true;
+}

@@ -1,0 +1,31 @@
+//===- ir/Verifier.h - IR structural verifier -------------------*- C++ -*-==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and SSA well-formedness checks: terminators, operand typing,
+/// phi/predecessor agreement, and defs-dominate-uses. The validator runs
+/// this on both functions before encoding, because a premise of the project
+/// is that the compiler under test is not trusted (Section 8.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE2RE_IR_VERIFIER_H
+#define ALIVE2RE_IR_VERIFIER_H
+
+#include "ir/Function.h"
+#include "support/Diag.h"
+
+namespace alive::ir {
+
+/// \returns true if \p F is well-formed; otherwise fills \p Err.
+bool verifyFunction(const Function &F, Diag &Err);
+
+/// Verifies every defined function in \p M.
+bool verifyModule(const Module &M, Diag &Err);
+
+} // namespace alive::ir
+
+#endif // ALIVE2RE_IR_VERIFIER_H

@@ -1,0 +1,32 @@
+//===- opt/Passes.h - Pass factories ----------------------------*- C++ -*-==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Factories for the individual passes (see Pass.h for the registry).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE2RE_OPT_PASSES_H
+#define ALIVE2RE_OPT_PASSES_H
+
+#include "opt/Pass.h"
+
+namespace alive::opt {
+
+std::unique_ptr<Pass> createInstCombine();
+std::unique_ptr<Pass> createInstSimplify();
+std::unique_ptr<Pass> createConstFold();
+std::unique_ptr<Pass> createDce();
+std::unique_ptr<Pass> createSimplifyCfg();
+std::unique_ptr<Pass> createGvn();
+/// The Selected-Bug-#1 reduction vectorizer; KeepNsw = the buggy variant.
+std::unique_ptr<Pass> createSlp(bool KeepNsw);
+/// The deliberately buggy variants reproducing the Section 8.2 classes.
+std::unique_ptr<Pass> createBuggyPass(const std::string &Name);
+
+} // namespace alive::opt
+
+#endif // ALIVE2RE_OPT_PASSES_H

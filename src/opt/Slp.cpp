@@ -1,0 +1,168 @@
+//===- opt/Slp.cpp - Straight-line reduction vectorizer -----------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The transformation behind the paper's Selected Bug #1 (Section 8.2): a
+/// reduction over four adjacent byte loads
+///
+///   %a = load i8* %x            %v = load <4 x i8>* %x
+///   %b = load i8* (%x+1)        %w = %v[0:1] +nsw %v[2:3]
+///   ...                    =>   %r = %w[0] +nsw %w[1]
+///   %r = %a +nsw %b +nsw %c +nsw %d
+///
+/// The rewrite exploits associativity of addition, but `add nsw` is NOT
+/// associative (different intermediate sums overflow), so keeping the flag
+/// is a miscompilation. The correct pass ("slp") drops the flags; the buggy
+/// variant ("bug-slp-nsw") keeps them, exactly like the reported LLVM bug.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/Passes.h"
+
+using namespace alive;
+using namespace alive::opt;
+using namespace alive::ir;
+
+namespace {
+
+/// Matches a left-leaning chain ((a + b) + c) + d of adds with uniform
+/// flags, collecting the four leaves.
+bool matchAddChain4(Instr *Root, std::vector<Value *> &Leaves, bool &AllNsw) {
+  auto *Add3 = dyn_cast<BinOp>(Root);
+  if (!Add3 || Add3->getOp() != BinOp::Op::Add)
+    return false;
+  auto *Add2 = dyn_cast<BinOp>(Add3->op(0));
+  if (!Add2 || Add2->getOp() != BinOp::Op::Add)
+    return false;
+  auto *Add1 = dyn_cast<BinOp>(Add2->op(0));
+  if (!Add1 || Add1->getOp() != BinOp::Op::Add)
+    return false;
+  Leaves = {Add1->op(0), Add1->op(1), Add2->op(1), Add3->op(1)};
+  AllNsw = Add1->flags().NSW && Add2->flags().NSW && Add3->flags().NSW;
+  return true;
+}
+
+/// True if \p V is "load i8, gep(Base, Index)" (or the bare base for
+/// Index == 0) in \p BB.
+bool isByteLoadAt(Value *V, Value *Base, uint64_t Index) {
+  auto *L = dyn_cast<Load>(V);
+  if (!L || !L->type()->isInt() || L->type()->intWidth() != 8)
+    return false;
+  Value *P = L->ptr();
+  if (Index == 0)
+    return P == Base;
+  auto *G = dyn_cast<Gep>(P);
+  if (!G || G->base() != Base || G->scale() != 1)
+    return false;
+  auto *CI = dyn_cast<ConstInt>(G->index());
+  return CI && CI->value().fitsU64() && CI->value().low64() == Index;
+}
+
+/// Erases the given instructions (and their gep feeders) when unused.
+void eraseIfUnused(Function &F, const std::vector<Value *> &Candidates) {
+  std::vector<Value *> Work(Candidates.begin(), Candidates.end());
+  while (!Work.empty()) {
+    Value *V = Work.back();
+    Work.pop_back();
+    auto *I = dyn_cast<Instr>(V);
+    if (!I || I->isTerminator())
+      continue;
+    bool Used = false;
+    for (unsigned BI = 0; BI < F.numBlocks() && !Used; ++BI)
+      for (const auto &Other : *F.block(BI))
+        for (unsigned OpIdx = 0; OpIdx < Other->numOps(); ++OpIdx)
+          Used |= Other->op(OpIdx) == V;
+    if (Used)
+      continue;
+    std::vector<Value *> Ops(I->operands());
+    BasicBlock *BB = I->parent();
+    for (unsigned K = 0; K < BB->size(); ++K)
+      if (BB->instr(K) == I) {
+        BB->erase(K);
+        break;
+      }
+    for (Value *Op : Ops)
+      Work.push_back(Op);
+  }
+}
+
+class SlpPass : public Pass {
+public:
+  explicit SlpPass(bool KeepNsw) : KeepNsw(KeepNsw) {}
+
+  const char *name() const override {
+    return KeepNsw ? "bug-slp-nsw" : "slp";
+  }
+
+  bool run(Function &F) override {
+    for (unsigned BI = 0; BI < F.numBlocks(); ++BI) {
+      BasicBlock *BB = F.block(BI);
+      for (unsigned Idx = 0; Idx < BB->size(); ++Idx) {
+        Instr *Root = BB->instr(Idx);
+        std::vector<Value *> Leaves;
+        bool AllNsw = false;
+        if (!matchAddChain4(Root, Leaves, AllNsw))
+          continue;
+        // All four leaves must be adjacent byte loads from a common base.
+        Value *Base = nullptr;
+        if (auto *L0 = dyn_cast<Load>(Leaves[0]))
+          Base = L0->ptr();
+        if (!Base)
+          continue;
+        bool Match = true;
+        for (uint64_t K = 0; K < 4; ++K)
+          Match &= isByteLoadAt(Leaves[K], Base, K);
+        if (!Match)
+          continue;
+
+        const Type *VecTy = Type::getVector(Type::getInt(8), 4);
+        const Type *HalfTy = Type::getVector(Type::getInt(8), 2);
+        const Type *I8 = Type::getInt(8);
+        const Type *I32 = Type::getInt(32);
+        BinOp::Flags Fl;
+        Fl.NSW = KeepNsw && AllNsw; // the correct pass drops nsw
+
+        std::string N = Root->name();
+        auto *VLoad = new Load(VecTy, N + ".v", Base, 1);
+        auto *Lo = new ShuffleVector(HalfTy, N + ".lo", VLoad, VLoad,
+                                     std::vector<int>{0, 1});
+        auto *Hi = new ShuffleVector(HalfTy, N + ".hi", VLoad, VLoad,
+                                     std::vector<int>{2, 3});
+        auto *W = new BinOp(BinOp::Op::Add, HalfTy, N + ".w", Lo, Hi, Fl);
+        auto *E0 = new ExtractElement(I8, N + ".e0", W,
+                                      F.getConstInt(I32, 0));
+        auto *E1 = new ExtractElement(I8, N + ".e1", W,
+                                      F.getConstInt(I32, 1));
+        auto *R = new BinOp(BinOp::Op::Add, I8, N, E0, E1, Fl);
+        Instr *News[] = {VLoad, Lo, Hi, W, E0, E1, R};
+        unsigned At = Idx;
+        for (Instr *I : News)
+          BB->insert(At++, I);
+        replaceAllUses(F, Root, R);
+        for (unsigned K = 0; K < BB->size(); ++K)
+          if (BB->instr(K) == Root) {
+            BB->erase(K);
+            break;
+          }
+        removeDeadInstructions(F);
+        // removeDeadInstructions keeps loads (they can trap); drop the now
+        // unused scalar loads and geps by hand — removing loads only
+        // shrinks the UB surface, which refinement permits.
+        eraseIfUnused(F, Leaves);
+        return true;
+      }
+    }
+    return false;
+  }
+
+private:
+  bool KeepNsw;
+};
+
+} // namespace
+
+std::unique_ptr<Pass> opt::createSlp(bool KeepNsw) {
+  return std::make_unique<SlpPass>(KeepNsw);
+}

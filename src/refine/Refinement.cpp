@@ -1,0 +1,442 @@
+//===- refine/Refinement.cpp - Translation validation core --------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "refine/Refinement.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "sema/Encoder.h"
+#include "smt/ExistsForall.h"
+#include "transform/Unroll.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+
+using namespace alive;
+using namespace alive::refine;
+using namespace alive::smt;
+using namespace alive::sema;
+using ir::Function;
+using ir::Module;
+
+/// ALIVE_EF_DEBUG=1 streams the engine's search progress to stderr (the
+/// LLVM_DEBUG analog for this project). Cached once per process.
+static bool debugEnabled() {
+  static const bool On = std::getenv("ALIVE_EF_DEBUG") != nullptr;
+  return On;
+}
+
+const char *Verdict::kindName() const {
+  switch (Kind) {
+  case VerdictKind::Correct:
+    return "correct";
+  case VerdictKind::Incorrect:
+    return "incorrect";
+  case VerdictKind::Timeout:
+    return "timeout";
+  case VerdictKind::OutOfMemory:
+    return "oom";
+  case VerdictKind::Unsupported:
+    return "unsupported";
+  case VerdictKind::PreconditionFalse:
+    return "precondition-false";
+  case VerdictKind::Failed:
+    return "failed";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Renders the shared-input part of a counterexample model, mapping the
+/// encoder's "in.<arg>.<lane>" symbols back to source argument names.
+std::string renderCounterexample(const Model &M, const Function &SrcF) {
+  std::map<std::string, std::string> Entries;
+  for (const auto &[Id, V] : M.entries()) {
+    const Node &N = ExprCtx::get().node(Id);
+    if (N.Name.rfind("in.", 0) != 0 && N.Name.rfind("out.", 0) != 0 &&
+        N.Name.rfind("blocksize.", 0) != 0 && N.Name.rfind("tgt.", 0) != 0)
+      continue;
+    std::string Shown = N.Name;
+    if (N.Name.rfind("in.", 0) == 0) {
+      // in.<idx>.<lane>[.poison|.undef]
+      unsigned ArgIdx = 0;
+      size_t Pos = 3;
+      while (Pos < N.Name.size() && isdigit((unsigned char)N.Name[Pos]))
+        ArgIdx = ArgIdx * 10 + (N.Name[Pos++] - '0');
+      if (ArgIdx < SrcF.numArgs())
+        Shown = "%" + SrcF.arg(ArgIdx)->name() + N.Name.substr(Pos);
+    } else if (N.Name.rfind("out.", 0) == 0) {
+      std::string Suffix = N.Name.substr(4);
+      Shown = Suffix == "memprobe"  ? "target memory probe"
+              : Suffix == "membyte" ? "target memory byte"
+                                    : "target return value (lane " + Suffix +
+                                          ")";
+    }
+    std::string Val = N.Width == 0 ? (V.isZero() ? "false" : "true")
+                                   : V.toString() + " (" + V.toHexString() +
+                                         ")";
+    Entries[Shown] = Val;
+  }
+  std::string Out;
+  for (const auto &[Name, Val] : Entries)
+    Out += "  " + Name + " = " + Val + "\n";
+  return Out;
+}
+
+/// One verification task: everything shared by the staged queries.
+class RefinementCheck {
+public:
+  RefinementCheck(const Function &Src, const Function &Tgt, const Module *M,
+                  const Options &Opts)
+      : SrcF(Src), TgtF(Tgt), M(M), Opts(Opts) {}
+
+  Verdict run();
+
+private:
+  const Function &SrcF;
+  const Function &TgtF;
+  const Module *M;
+  const Options &Opts;
+  Stopwatch Timer;
+
+  std::unique_ptr<Function> SrcU, TgtU;
+  std::unique_ptr<MemoryLayout> Layout;
+  FunctionEncoding Src, SrcI, Tgt;
+  std::vector<Expr> OuterBase;
+  Expr PhiBase = mkTrue();
+  std::vector<EFQuery::Seed> Seeds;
+  unsigned Queries = 0;
+
+  Verdict verdict(VerdictKind K, std::string Check = "",
+                  std::string Detail = "") {
+    Verdict V;
+    V.Kind = K;
+    V.FailedCheck = std::move(Check);
+    V.Detail = std::move(Detail);
+    V.Seconds = Timer.seconds();
+    V.QueriesRun = Queries;
+    return V;
+  }
+
+  /// Runs one EF query; classifies its result. \returns empty optional when
+  /// refinement holds for this check.
+  std::optional<Verdict> runQuery(const std::string &CheckName,
+                                  std::vector<Expr> ExtraOuter, Expr ExtraPhi);
+
+};
+
+std::optional<Verdict>
+RefinementCheck::runQuery(const std::string &CheckName,
+                          std::vector<Expr> ExtraOuter, Expr ExtraPhi) {
+  ++Queries;
+  if (debugEnabled())
+    fprintf(stderr, "[refine] query: %s\n", CheckName.c_str());
+  EFQuery Q;
+  Q.Outer = OuterBase;
+  for (Expr E : ExtraOuter)
+    Q.Outer.push_back(E);
+  Q.Inner = mkAnd(PhiBase, ExtraPhi);
+  Q.InnerVars = SrcI.NondetVars;
+  Q.InnerAppPrefixes = {"localinit.srcI"};
+  if (Opts.UseInstantiationSeeds)
+    Q.Seeds = Seeds;
+  Q.DeriveEquationDefs = Opts.UseInstantiationSeeds;
+  for (const auto &N : Src.ApproxFnNames)
+    Q.AvoidAppPrefixes.push_back(N);
+  for (const auto &N : SrcI.ApproxFnNames)
+    Q.AvoidAppPrefixes.push_back(N);
+  for (const auto &N : Tgt.ApproxFnNames)
+    Q.AvoidAppPrefixes.push_back(N);
+
+  SolverBudget B = Opts.Budget;
+  double Remaining = B.TimeoutSec - Timer.seconds();
+  if (Remaining <= 0)
+    return verdict(VerdictKind::Timeout, CheckName, "query budget exhausted");
+  B.TimeoutSec = Remaining;
+
+  EFOutcome R = solveExistsForall(Q, B);
+  if (debugEnabled())
+    fprintf(stderr, "[refine] query returned res=%d\n", (int)R.Res);
+  switch (R.Res) {
+  case SatResult::Unsat:
+    return std::nullopt; // this check passes
+  case SatResult::Unknown:
+    if (R.UnknownReason == "memory")
+      return verdict(VerdictKind::OutOfMemory, CheckName, R.UnknownReason);
+    return verdict(VerdictKind::Timeout, CheckName, R.UnknownReason);
+  case SatResult::Sat:
+    break;
+  }
+  // Counterexample found. The engine already retried for a model whose
+  // support avoids over-approximated features (Section 3.8); a tainted
+  // model means we cannot conclude a real bug.
+  if (R.ApproxInvolved)
+    return verdict(VerdictKind::Unsupported, CheckName,
+                   "counterexample depends on over-approximated feature: " +
+                       R.ApproxApp);
+  return verdict(VerdictKind::Incorrect, CheckName,
+                 "counterexample:\n" + renderCounterexample(R.M, SrcF));
+}
+
+Verdict RefinementCheck::run() {
+  // Structural sanity (we do not trust the compiler under test).
+  Diag Err;
+  if (!ir::verifyFunction(SrcF, Err) || !ir::verifyFunction(TgtF, Err))
+    return verdict(VerdictKind::Failed, "verifier", Err.str());
+  if (SrcF.returnType() != TgtF.returnType() ||
+      SrcF.numArgs() != TgtF.numArgs())
+    return verdict(VerdictKind::Failed, "signature",
+                   "source/target signatures differ");
+  for (unsigned I = 0; I < SrcF.numArgs(); ++I)
+    if (SrcF.arg(I)->type() != TgtF.arg(I)->type())
+      return verdict(VerdictKind::Failed, "signature",
+                     "argument types differ");
+
+  // Bounded unrolling (Section 7).
+  SrcU = SrcF.clone();
+  TgtU = TgtF.clone();
+  auto SrcUnroll = transform::unrollLoops(*SrcU, Opts.UnrollFactor);
+  auto TgtUnroll = transform::unrollLoops(*TgtU, Opts.UnrollFactor);
+  if (SrcUnroll.HadIrreducible || TgtUnroll.HadIrreducible)
+    return verdict(VerdictKind::Unsupported, "loops",
+                   "irreducible control flow");
+
+  Layout = std::make_unique<MemoryLayout>(
+      MemoryLayout::compute(*SrcU, *TgtU, M));
+
+  EncodeOptions SO{"src", Opts.EquivalenceMode};
+  EncodeOptions SIO{"srcI", Opts.EquivalenceMode};
+  EncodeOptions TO{"tgt", Opts.EquivalenceMode};
+  Src = encodeFunction(*SrcU, *Layout, SrcUnroll.Sinks, SO);
+  SrcI = encodeFunction(*SrcU, *Layout, SrcUnroll.Sinks, SIO);
+  Tgt = encodeFunction(*TgtU, *Layout, TgtUnroll.Sinks, TO);
+
+  // Premise (Section 5.2 final formula): the target executes within bounds
+  // under both preconditions; the source-side premise uses its own
+  // (outer-bound) nondeterminism copy.
+  OuterBase.push_back(Tgt.Pre);
+  OuterBase.push_back(Src.Pre);
+  OuterBase.push_back(mkNot(Tgt.SinkDomain));
+  OuterBase.push_back(mkNot(Src.SinkDomain));
+  for (Expr A : Tgt.Axioms)
+    OuterBase.push_back(A);
+  for (Expr A : Src.Axioms)
+    OuterBase.push_back(A);
+
+  PhiBase = SrcI.Pre;
+  PhiBase = mkAnd(PhiBase, mkNot(SrcI.SinkDomain));
+  for (Expr A : SrcI.Axioms)
+    PhiBase = mkAnd(PhiBase, A);
+
+  // Symbolic quantifier-instantiation seeds: align the inner source copy's
+  // nondeterminism with (a) the premise source copy and (b) the target, by
+  // creation order. Unmatched variables instantiate to zero. Seeds are
+  // heuristic accelerators; the CEGIS loop remains the completeness
+  // fallback.
+  auto makeSeed = [this](const FunctionEncoding &Other, const char *OtherTag,
+                         bool AlignEnd) {
+    EFQuery::Seed S;
+    size_t LenS = SrcI.NondetOrder.size();
+    size_t LenO = Other.NondetOrder.size();
+    for (size_t I = 0; I < LenS; ++I) {
+      Expr From = SrcI.NondetOrder[I];
+      unsigned W = From.isBool() ? 0 : From.width();
+      Expr To;
+      // Front alignment pairs the i-th nondeterministic choice of each
+      // side; end alignment pairs the final reads (robust when the target
+      // dropped instructions, e.g. after DCE).
+      size_t J = I;
+      bool InRange = I < LenO;
+      if (AlignEnd) {
+        InRange = LenS - I <= LenO;
+        if (InRange)
+          J = LenO - (LenS - I);
+      }
+      if (InRange) {
+        Expr Cand = Other.NondetOrder[J];
+        unsigned CW = Cand.isBool() ? 0 : Cand.width();
+        if (CW == W)
+          To = Cand;
+      }
+      if (!To.isValid())
+        To = W == 0 ? mkFalse() : mkBV(W, 0);
+      S.VarMap[From.id()] = To;
+    }
+    S.AppRenames = {{"localinit.srcI", std::string("localinit.") +
+                                             OtherTag}};
+    return S;
+  };
+  Seeds.push_back(makeSeed(Src, "src", false));
+  Seeds.push_back(makeSeed(Tgt, "tgt", false));
+  if (SrcI.NondetOrder.size() != Tgt.NondetOrder.size())
+    Seeds.push_back(makeSeed(Tgt, "tgt", true));
+
+  // Step 1: the preconditions must not be vacuously false.
+  {
+    if (debugEnabled())
+      fprintf(stderr, "[refine] step1 precondition check\n");
+    ++Queries;
+    Solver S;
+    for (Expr E : OuterBase)
+      S.add(E);
+    SolverBudget B = Opts.Budget;
+    SolveOutcome R = S.check(B);
+    if (R.isUnsat())
+      return verdict(VerdictKind::PreconditionFalse, "precondition",
+                     "the combined preconditions are unsatisfiable");
+  }
+
+  // Step 2: the target triggers UB only when the source does.
+  if (auto V = runQuery("target is more undefined than source", {Tgt.UB},
+                        SrcI.UB))
+    return *V;
+
+  // Step 3: return-domain agreement (modulo source UB).
+  if (auto V = runQuery("target returns when source cannot",
+                        {Tgt.RetDomain},
+                        mkOr(SrcI.UB, SrcI.RetDomain)))
+    return *V;
+
+  // Steps 4-6: return value refinement, lane by lane.
+  if (!SrcF.returnType()->isVoid() && !Opts.EquivalenceMode) {
+    for (unsigned Lane = 0; Lane < Tgt.RetVal.Elems.size(); ++Lane) {
+      const StateValue &TL = Tgt.RetVal.Elems[Lane];
+      const StateValue &SL = SrcI.RetVal.Elems[Lane];
+      // Step 4: target poison only where source poison (or UB).
+      if (auto V = runQuery(
+              "target is more poisonous than source (lane " +
+                  std::to_string(Lane) + ")",
+              {Tgt.RetDomain, mkNot(TL.NonPoison)},
+              mkOr(SrcI.UB, mkAnd(SrcI.RetDomain, mkNot(SL.NonPoison)))))
+        return *V;
+    }
+  }
+  if (!SrcF.returnType()->isVoid()) {
+    for (unsigned Lane = 0; Lane < Tgt.RetVal.Elems.size(); ++Lane) {
+      const StateValue &TL = Tgt.RetVal.Elems[Lane];
+      const StateValue &SL = SrcI.RetVal.Elems[Lane];
+      // Steps 5/6: every defined target value must be producible by the
+      // source (undef is covered by the inner existential refresh vars).
+      Expr O = mkVar("out." + std::to_string(Lane), TL.Val.width());
+      const ir::Type *LaneTy = laneType(SrcF.returnType(), Lane);
+      Expr SrcMatches = mkEq(SL.Val, O);
+      if (LaneTy->isPtr()) {
+        // Local pointers are private to each function; treat a pair of
+        // local blocks as mutually refining (coarse pointerRefined()).
+        Expr BothLocal =
+            mkAnd(Layout->isLocalBid(Layout->ptrBid(SL.Val)),
+                  Layout->isLocalBid(Layout->ptrBid(O)));
+        SrcMatches = mkOr(SrcMatches, BothLocal);
+      }
+      Expr Good =
+          Opts.EquivalenceMode
+              ? SrcMatches
+              : mkOr(SrcI.UB, mkAnd(SrcI.RetDomain,
+                                    mkOr(mkNot(SL.NonPoison), SrcMatches)));
+      std::vector<Expr> Outer{Tgt.RetDomain, mkEq(O, TL.Val)};
+      if (!Opts.EquivalenceMode)
+        Outer.push_back(TL.NonPoison);
+      if (auto V = runQuery("target's return value is more specific (lane " +
+                                std::to_string(Lane) + ")",
+                            Outer, Good))
+        return *V;
+    }
+  }
+
+  // Step 7: memory refinement via an adversarial probe address into a
+  // non-local block.
+  if (Opts.CheckMemory && !Opts.EquivalenceMode) {
+    unsigned PB = Layout->ptrBits();
+    Expr Probe = mkVar("out.memprobe", PB);
+    Expr Bid = Layout->ptrBid(Probe);
+    Expr InRange = mkAnd(
+        mkNe(Bid, mkBV(Layout->bidBits(), 0)),
+        mkAnd(Layout->isNonLocalOrNull(Bid),
+              mkUlt(Layout->ptrOff(Probe),
+                    Layout->blockSize(Bid, "tgt"))));
+    Expr TgtByte = Tgt.Mem->loadByte(Probe);
+    Expr OByte = mkVar("out.membyte", Layout->byteBits());
+    Expr SrcByte = SrcI.Mem->loadByte(Probe);
+
+    ByteOps BO(*Layout);
+    Expr MaskS = BO.npMask(SrcByte), MaskT = BO.npMask(OByte);
+    // Pointer bytes carry whole-byte poison: any nonzero source mask means
+    // the source byte is poison and refines anything; otherwise the target
+    // byte must be an identical non-poison pointer byte.
+    Expr PtrRefined = mkOr(
+        mkNe(MaskS, mkBV(8, 0)),
+        mkAnd(BO.isPtrByte(OByte),
+              mkAnd(mkEq(BO.ptrPayloadPtr(SrcByte), BO.ptrPayloadPtr(OByte)),
+                    mkAnd(mkEq(BO.ptrPayloadIdx(SrcByte),
+                               BO.ptrPayloadIdx(OByte)),
+                          mkEq(MaskT, mkBV(8, 0))))));
+    // Non-pointer bytes: the target may be poisonous only where the source
+    // is, and must agree on the bits the source defines.
+    Expr AllPoisonS = mkEq(MaskS, mkBV(BitVec::allOnes(8)));
+    Expr NewPoison = mkNe(mkBVAnd(MaskT, mkBVNot(MaskS)), mkBV(8, 0));
+    Expr Diff = mkBVAnd(mkBVXor(BO.intValue(SrcByte), BO.intValue(OByte)),
+                        mkBVNot(MaskS));
+    Expr IntRefined =
+        mkOr(AllPoisonS,
+             mkAnd(mkNot(BO.isPtrByte(OByte)),
+                   mkAnd(mkNot(NewPoison), mkEq(Diff, mkBV(8, 0)))));
+    Expr Refined =
+        mkIte(BO.isPtrByte(SrcByte), PtrRefined, IntRefined);
+    if (auto V = runQuery(
+            "target's memory is more specific",
+            {InRange, mkEq(OByte, TgtByte), mkNot(Tgt.UB)},
+            mkOr(SrcI.UB, Refined)))
+      return *V;
+  }
+
+  // Step 8 (Section 6): every target call must correspond to a source call
+  // with the same callee, arguments and memory version.
+  if (Opts.CheckCalls && !Opts.EquivalenceMode) {
+    for (const CallRecord &TC : Tgt.Calls) {
+      Expr SomeMatch = mkFalse();
+      for (const CallRecord &SC : SrcI.Calls) {
+        if (SC.Callee != TC.Callee || SC.Args.size() != TC.Args.size())
+          continue;
+        Expr Match = mkAnd(SC.Dom, mkEq(SC.Version, TC.Version));
+        for (size_t I = 0; I < SC.Args.size(); ++I)
+          Match = mkAnd(Match, mkEq(SC.Args[I], TC.Args[I]));
+        SomeMatch = mkOr(SomeMatch, Match);
+      }
+      if (auto V = runQuery("target introduces a call to @" + TC.Callee,
+                            {TC.Dom}, mkOr(SrcI.UB, SomeMatch)))
+        return *V;
+    }
+  }
+
+  return verdict(VerdictKind::Correct);
+}
+
+} // namespace
+
+Verdict refine::verifyRefinement(const Function &Src, const Function &Tgt,
+                                 const Module *M, const Options &Opts) {
+  RefinementCheck C(Src, Tgt, M, Opts);
+  return C.run();
+}
+
+std::vector<std::pair<std::string, Verdict>>
+refine::verifyModules(const Module &Src, const Module &Tgt,
+                      const Options &Opts) {
+  std::vector<std::pair<std::string, Verdict>> Out;
+  for (unsigned I = 0; I < Src.numFunctions(); ++I) {
+    const Function *SF = Src.function(I);
+    if (SF->isDeclaration())
+      continue;
+    const Function *TF = Tgt.functionByName(SF->name());
+    if (!TF || TF->isDeclaration())
+      continue;
+    Out.push_back({SF->name(), verifyRefinement(*SF, *TF, &Src, Opts)});
+  }
+  return Out;
+}

@@ -1,0 +1,83 @@
+//===- refine/Refinement.h - Translation validation core --------*- C++ -*-==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 5 refinement check between a source and a target function:
+/// clone, unroll (Section 7), encode both (Sections 3-4, 6) — the source
+/// twice, once for the premise and once under the inner existential — and
+/// run the staged queries of Section 5.3 through the exists-forall engine.
+/// Verdicts use the same classes as the paper's Figures 7 and 8: correct,
+/// incorrect (with a counterexample), timeout, out-of-memory, and
+/// unsupported (an over-approximated feature was involved, Section 3.8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE2RE_REFINE_REFINEMENT_H
+#define ALIVE2RE_REFINE_REFINEMENT_H
+
+#include "ir/Function.h"
+#include "smt/Solver.h"
+
+#include <string>
+
+namespace alive::refine {
+
+struct Options {
+  /// Loop unroll bound (Section 7). At least 2 covers back-edge phi entries
+  /// for non-loop optimizations; loop optimizations may need much more.
+  unsigned UnrollFactor = 2;
+  /// Per-SMT-query resource budget (the paper's 1-minute / 1 GB defaults,
+  /// scaled).
+  smt::SolverBudget Budget;
+  /// Ablation E7: plain equivalence checking without deferred UB.
+  bool EquivalenceMode = false;
+  /// Check the final memory state (step 7).
+  bool CheckMemory = true;
+  /// Check that the target introduces no new calls (Section 6).
+  bool CheckCalls = true;
+  /// Ablation E8: symbolic quantifier-instantiation seeds (the Section 3.7
+  /// undef-instantiation optimization analog). Off = plain CEGIS.
+  bool UseInstantiationSeeds = true;
+};
+
+enum class VerdictKind {
+  Correct,
+  Incorrect,
+  Timeout,
+  OutOfMemory,
+  Unsupported,       ///< over-approximated feature involved (Section 3.8)
+  PreconditionFalse, ///< step 1: the preconditions are unsatisfiable
+  Failed,            ///< malformed input / signature mismatch
+};
+
+struct Verdict {
+  VerdictKind Kind = VerdictKind::Failed;
+  /// Which staged check produced the verdict (e.g. "target is more
+  /// poisonous than source").
+  std::string FailedCheck;
+  /// Counterexample or diagnostic text.
+  std::string Detail;
+  double Seconds = 0;
+  unsigned QueriesRun = 0;
+
+  bool isCorrect() const { return Kind == VerdictKind::Correct; }
+  bool isIncorrect() const { return Kind == VerdictKind::Incorrect; }
+  const char *kindName() const;
+};
+
+/// Checks that \p Tgt refines \p Src. \p M provides globals (may be null).
+Verdict verifyRefinement(const ir::Function &Src, const ir::Function &Tgt,
+                         const ir::Module *M, const Options &Opts);
+
+/// Convenience: validates every function pair with matching names across
+/// two modules (the alive-tv behavior).
+std::vector<std::pair<std::string, Verdict>>
+verifyModules(const ir::Module &Src, const ir::Module &Tgt,
+              const Options &Opts);
+
+} // namespace alive::refine
+
+#endif // ALIVE2RE_REFINE_REFINEMENT_H

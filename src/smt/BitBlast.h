@@ -1,0 +1,92 @@
+//===- smt/BitBlast.h - Tseitin bit-blasting to CNF -------------*- C++ -*-==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the bit-vector expression DAG to CNF over the CDCL solver:
+/// ripple-carry adders, shift-add multipliers, restoring dividers, barrel
+/// shifters and comparator chains, with per-node memoization so shared
+/// subterms are blasted once. Uninterpreted applications must have been
+/// eliminated (Ackermannized) by the Solver facade before blasting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE2RE_SMT_BITBLAST_H
+#define ALIVE2RE_SMT_BITBLAST_H
+
+#include "smt/Expr.h"
+#include "smt/Sat.h"
+
+#include <unordered_map>
+
+namespace alive::smt {
+
+/// Translates expressions to CNF and tracks variable bit mappings for model
+/// extraction.
+class BitBlaster {
+public:
+  explicit BitBlaster(SatSolver &Solver);
+
+  /// Asserts that the Bool expression \p E holds.
+  void assertTrue(Expr E);
+
+  /// \returns a literal equivalent to the Bool expression \p E.
+  Lit blastBool(Expr E);
+
+  /// \returns literals for each bit of the bit-vector \p E, LSB first.
+  const std::vector<Lit> &blastBV(Expr E);
+
+  /// Reads back the value of a previously-blasted variable from the SAT
+  /// model; also answers for variables never blasted (defaulting to zero).
+  BitVec readVar(Expr Var) const;
+
+  /// All variables that were blasted (candidates for the model).
+  const std::unordered_map<ExprId, std::vector<Lit>> &blastedVars() const {
+    return VarBits;
+  }
+
+  /// True once the clause budget was exceeded; results are then unusable.
+  bool overBudget() const { return OverBudget; }
+  void setLiteralBudget(size_t Budget) { LiteralBudget = Budget; }
+
+private:
+  SatSolver &S;
+  std::unordered_map<ExprId, Lit> BoolCache;
+  std::unordered_map<ExprId, std::vector<Lit>> BVCache;
+  std::unordered_map<ExprId, std::vector<Lit>> VarBits;
+  Lit TrueLit;
+  bool OverBudget = false;
+  size_t LiteralBudget = ~size_t(0);
+  size_t EmittedLiterals = 0;
+
+  Lit falseLit() const { return negLit(TrueLit); }
+  Lit fresh();
+  void clause(std::vector<Lit> Lits);
+
+  Lit gateAnd(Lit A, Lit B);
+  Lit gateOr(Lit A, Lit B);
+  Lit gateXor(Lit A, Lit B);
+  Lit gateIte(Lit C, Lit T, Lit F);
+  Lit gateEq(Lit A, Lit B) { return negLit(gateXor(A, B)); }
+
+  std::vector<Lit> adder(const std::vector<Lit> &A, const std::vector<Lit> &B,
+                         Lit CarryIn);
+  std::vector<Lit> negate(const std::vector<Lit> &A);
+  std::vector<Lit> multiplier(const std::vector<Lit> &A,
+                              const std::vector<Lit> &B);
+  /// Computes both quotient and remainder of unsigned division.
+  void divider(const std::vector<Lit> &A, const std::vector<Lit> &B,
+               std::vector<Lit> &Quot, std::vector<Lit> &Rem);
+  std::vector<Lit> shifter(const std::vector<Lit> &A,
+                           const std::vector<Lit> &B, Kind ShiftKind);
+  Lit comparatorUlt(const std::vector<Lit> &A, const std::vector<Lit> &B);
+  std::vector<Lit> mux(Lit C, const std::vector<Lit> &T,
+                       const std::vector<Lit> &F);
+  Lit equalVec(const std::vector<Lit> &A, const std::vector<Lit> &B);
+};
+
+} // namespace alive::smt
+
+#endif // ALIVE2RE_SMT_BITBLAST_H

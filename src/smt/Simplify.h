@@ -1,0 +1,28 @@
+//===- smt/Simplify.h - Construction-time folding ---------------*- C++ -*-==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Local rewriting applied every time a node is built (the role of Z3's
+/// simplifier in Alive2): constant folding, Boolean/bit-vector identities,
+/// ite collapsing, extract/concat forwarding and commutative-operand
+/// canonicalization. Keeping this at construction time means downstream
+/// layers (bit-blaster, model evaluator) only ever see reduced DAGs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE2RE_SMT_SIMPLIFY_H
+#define ALIVE2RE_SMT_SIMPLIFY_H
+
+#include "smt/Expr.h"
+
+namespace alive::smt::detail {
+
+/// Applies local rewrite rules to \p N and interns the result.
+Expr fold(Node N);
+
+} // namespace alive::smt::detail
+
+#endif // ALIVE2RE_SMT_SIMPLIFY_H

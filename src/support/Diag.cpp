@@ -1,0 +1,55 @@
+//===- support/Diag.cpp ---------------------------------------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diag.h"
+
+#include <chrono>
+
+using namespace alive;
+
+std::string Diag::str() const {
+  if (Line == 0)
+    return Message;
+  return "line " + std::to_string(Line) + ":" + std::to_string(Col) + ": " +
+         Message;
+}
+
+void Stopwatch::reset() {
+  StartNs = (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count();
+}
+
+double Stopwatch::seconds() const {
+  uint64_t Now = (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now().time_since_epoch())
+                     .count();
+  return (double)(Now - StartNs) * 1e-9;
+}
+
+Rng::Rng(uint64_t Seed) {
+  // SplitMix64 seeding to decorrelate nearby seeds.
+  auto Split = [](uint64_t &X) {
+    X += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = X;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  };
+  uint64_t X = Seed;
+  S0 = Split(X);
+  S1 = Split(X);
+  if (S0 == 0 && S1 == 0)
+    S1 = 1;
+}
+
+uint64_t Rng::next() {
+  uint64_t X = S0, Y = S1;
+  S0 = Y;
+  X ^= X << 23;
+  S1 = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+  return S1 + Y;
+}

@@ -1,0 +1,69 @@
+//===- support/Diag.h - Diagnostics, timers and RNG -------------*- C++ -*-==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small shared utilities: error reporting for the parser/verifier, a
+/// monotonic stopwatch used to enforce solver budgets, and a deterministic
+/// xorshift RNG used by the corpus generator and the property tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE2RE_SUPPORT_DIAG_H
+#define ALIVE2RE_SUPPORT_DIAG_H
+
+#include <cstdint>
+#include <string>
+
+namespace alive {
+
+/// A source-located error message, as produced by the IR parser and verifier.
+struct Diag {
+  unsigned Line = 0;
+  unsigned Col = 0;
+  std::string Message;
+
+  Diag() = default;
+  Diag(unsigned Line, unsigned Col, std::string Message)
+      : Line(Line), Col(Col), Message(std::move(Message)) {}
+
+  bool empty() const { return Message.empty(); }
+  std::string str() const;
+};
+
+/// Monotonic stopwatch in seconds; used for solver and pass budgets.
+class Stopwatch {
+public:
+  Stopwatch() { reset(); }
+  void reset();
+  double seconds() const;
+
+private:
+  uint64_t StartNs;
+};
+
+/// Deterministic xorshift128+ generator. Not cryptographic; stable across
+/// platforms so corpus generation and property tests are reproducible.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed);
+
+  uint64_t next();
+  /// Uniform in [0, Bound); Bound must be nonzero.
+  uint64_t next(uint64_t Bound) { return next() % Bound; }
+  /// Uniform in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + (int64_t)next((uint64_t)(Hi - Lo + 1));
+  }
+  /// Bernoulli with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return next(Den) < Num; }
+
+private:
+  uint64_t S0, S1;
+};
+
+} // namespace alive
+
+#endif // ALIVE2RE_SUPPORT_DIAG_H

@@ -1,0 +1,46 @@
+//===- transform/Unroll.h - Bounded loop unrolling --------------*- C++ -*-==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 7 bounded unroller. Loops are processed inside-out (nesting
+/// post-order), each duplicated Factor times; the final back edges are
+/// redirected to a per-loop sink block whose reachability the encoder
+/// negates into the function's precondition (so verification only covers
+/// executions that finish within the bound — that is what makes the whole
+/// tool *bounded* translation validation). Values used outside their loop
+/// are repaired with the paper's three-case strategy: patch existing phis,
+/// introduce a new phi at a dominating single exit, or fall back to a stack
+/// slot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE2RE_TRANSFORM_UNROLL_H
+#define ALIVE2RE_TRANSFORM_UNROLL_H
+
+#include "ir/Function.h"
+
+#include <unordered_set>
+
+namespace alive::transform {
+
+struct UnrollResult {
+  /// Sink blocks created (terminated by `unreachable`, but semantically
+  /// "assume unreachable": the encoder must negate their domains into the
+  /// precondition, NOT treat them as UB).
+  std::unordered_set<const ir::BasicBlock *> Sinks;
+  /// True if an irreducible region was found; the function must then be
+  /// reported as unsupported rather than verified.
+  bool HadIrreducible = false;
+  unsigned LoopsUnrolled = 0;
+};
+
+/// Unrolls every loop of \p F in place by \p Factor (>= 1). Factor 1 keeps
+/// one iteration and cuts the back edge.
+UnrollResult unrollLoops(ir::Function &F, unsigned Factor);
+
+} // namespace alive::transform
+
+#endif // ALIVE2RE_TRANSFORM_UNROLL_H

@@ -1,0 +1,294 @@
+//===- tests/analysis/AnalysisTest.cpp --------------------------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+// Tests for CFG utilities, the Cooper-Harvey-Kennedy dominator tree and the
+// Tarjan-Havlak loop nesting forest.
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+#include "analysis/LoopForest.h"
+#include "ir/Parser.h"
+
+#include "gtest/gtest.h"
+
+using namespace alive;
+using namespace alive::analysis;
+using namespace alive::ir;
+
+namespace {
+
+std::unique_ptr<Module> parse(const char *Src) {
+  return parseModuleOrDie(Src);
+}
+
+TEST(Cfg, DiamondPredsAndRpo) {
+  auto M = parse(R"(
+define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  ret i32 0
+}
+)");
+  Function *F = M->functionByName("f");
+  Cfg G(*F);
+  BasicBlock *Entry = F->blockByName("entry"), *A = F->blockByName("a"),
+             *B = F->blockByName("b"), *J = F->blockByName("join");
+  EXPECT_EQ(G.preds(Entry).size(), 0u);
+  EXPECT_EQ(G.preds(J).size(), 2u);
+  ASSERT_EQ(G.rpo().size(), 4u);
+  EXPECT_EQ(G.rpo()[0], Entry);
+  EXPECT_EQ(G.rpoIndex(Entry), 0u);
+  EXPECT_GT(G.rpoIndex(J), G.rpoIndex(A));
+  EXPECT_GT(G.rpoIndex(J), G.rpoIndex(B));
+}
+
+TEST(Cfg, UnreachableBlocks) {
+  auto M = parse(R"(
+define i32 @f() {
+entry:
+  ret i32 0
+dead:
+  br label %dead2
+dead2:
+  ret i32 1
+}
+)");
+  Function *F = M->functionByName("f");
+  Cfg G(*F);
+  EXPECT_TRUE(G.isReachable(F->blockByName("entry")));
+  EXPECT_FALSE(G.isReachable(F->blockByName("dead")));
+  EXPECT_EQ(G.rpo().size(), 1u);
+}
+
+TEST(DomTree, Diamond) {
+  auto M = parse(R"(
+define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  ret i32 0
+}
+)");
+  Function *F = M->functionByName("f");
+  Cfg G(*F);
+  DomTree DT(G);
+  BasicBlock *Entry = F->blockByName("entry"), *A = F->blockByName("a"),
+             *B = F->blockByName("b"), *J = F->blockByName("join");
+  EXPECT_EQ(DT.idom(Entry), nullptr);
+  EXPECT_EQ(DT.idom(A), Entry);
+  EXPECT_EQ(DT.idom(B), Entry);
+  EXPECT_EQ(DT.idom(J), Entry) << "join's idom skips the branches";
+  EXPECT_TRUE(DT.dominates(Entry, J));
+  EXPECT_FALSE(DT.dominates(A, J));
+  EXPECT_TRUE(DT.dominates(A, A));
+}
+
+TEST(DomTree, LoopBody) {
+  auto M = parse(R"(
+define i32 @f(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %inc, %latch ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  br label %latch
+latch:
+  %inc = add i32 %i, 1
+  br label %head
+exit:
+  ret i32 %i
+}
+)");
+  Function *F = M->functionByName("f");
+  Cfg G(*F);
+  DomTree DT(G);
+  BasicBlock *Head = F->blockByName("head"), *Body = F->blockByName("body"),
+             *Latch = F->blockByName("latch"), *Exit = F->blockByName("exit");
+  EXPECT_EQ(DT.idom(Head), F->blockByName("entry"));
+  EXPECT_EQ(DT.idom(Body), Head);
+  EXPECT_EQ(DT.idom(Latch), Body);
+  EXPECT_EQ(DT.idom(Exit), Head);
+  EXPECT_TRUE(DT.dominates(Head, Latch));
+  EXPECT_FALSE(DT.dominates(Latch, Head));
+}
+
+TEST(LoopForest, SimpleLoop) {
+  auto M = parse(R"(
+define i32 @f(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %inc, %head2 ]
+  br label %head2
+head2:
+  %inc = add i32 %i, 1
+  %c = icmp slt i32 %inc, %n
+  br i1 %c, label %head, label %exit
+exit:
+  ret i32 %i
+}
+)");
+  Function *F = M->functionByName("f");
+  Cfg G(*F);
+  LoopForest LF(G);
+  ASSERT_EQ(LF.numLoops(), 1u);
+  Loop *L = LF.topLevel()[0];
+  EXPECT_EQ(L->Header, F->blockByName("head"));
+  EXPECT_TRUE(L->contains(F->blockByName("head2")));
+  EXPECT_FALSE(L->contains(F->blockByName("exit")));
+  ASSERT_EQ(L->Latches.size(), 1u);
+  EXPECT_EQ(L->Latches[0], F->blockByName("head2"));
+  EXPECT_EQ(LF.loopFor(F->blockByName("head2")), L);
+  EXPECT_EQ(LF.loopFor(F->blockByName("exit")), nullptr);
+  EXPECT_FALSE(LF.hasIrreducible());
+}
+
+TEST(LoopForest, NestedLoops) {
+  auto M = parse(R"(
+define void @f(i32 %n) {
+entry:
+  br label %outer
+outer:
+  %i = phi i32 [ 0, %entry ], [ %i2, %outerlatch ]
+  br label %inner
+inner:
+  %j = phi i32 [ 0, %outer ], [ %j2, %inner ]
+  %j2 = add i32 %j, 1
+  %ci = icmp slt i32 %j2, %n
+  br i1 %ci, label %inner, label %outerlatch
+outerlatch:
+  %i2 = add i32 %i, 1
+  %co = icmp slt i32 %i2, %n
+  br i1 %co, label %outer, label %exit
+exit:
+  ret void
+}
+)");
+  Function *F = M->functionByName("f");
+  Cfg G(*F);
+  LoopForest LF(G);
+  ASSERT_EQ(LF.numLoops(), 2u);
+  ASSERT_EQ(LF.topLevel().size(), 1u);
+  Loop *Outer = LF.topLevel()[0];
+  ASSERT_EQ(Outer->Children.size(), 1u);
+  Loop *Inner = Outer->Children[0];
+  EXPECT_EQ(Outer->Header, F->blockByName("outer"));
+  EXPECT_EQ(Inner->Header, F->blockByName("inner"));
+  EXPECT_EQ(Inner->Parent, Outer);
+  EXPECT_TRUE(Outer->contains(F->blockByName("inner")));
+  EXPECT_EQ(LF.loopFor(F->blockByName("inner")), Inner);
+  EXPECT_EQ(Inner->depth(), 2u);
+  // Post-order lists the inner loop first (Section 7's unroll order).
+  auto PO = LF.postOrder();
+  ASSERT_EQ(PO.size(), 2u);
+  EXPECT_EQ(PO[0], Inner);
+  EXPECT_EQ(PO[1], Outer);
+}
+
+TEST(LoopForest, SelfLoop) {
+  auto M = parse(R"(
+define void @f(i32 %n) {
+entry:
+  br label %spin
+spin:
+  %i = phi i32 [ 0, %entry ], [ %i2, %spin ]
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, %n
+  br i1 %c, label %spin, label %exit
+exit:
+  ret void
+}
+)");
+  Function *F = M->functionByName("f");
+  Cfg G(*F);
+  LoopForest LF(G);
+  ASSERT_EQ(LF.numLoops(), 1u);
+  Loop *L = LF.topLevel()[0];
+  EXPECT_EQ(L->Header, F->blockByName("spin"));
+  ASSERT_EQ(L->Latches.size(), 1u);
+  EXPECT_EQ(L->Latches[0], F->blockByName("spin"));
+}
+
+TEST(LoopForest, SideBySideLoops) {
+  auto M = parse(R"(
+define void @f(i32 %n) {
+entry:
+  br label %l1
+l1:
+  %i = phi i32 [ 0, %entry ], [ %i2, %l1 ]
+  %i2 = add i32 %i, 1
+  %c1 = icmp slt i32 %i2, %n
+  br i1 %c1, label %l1, label %mid
+mid:
+  br label %l2
+l2:
+  %j = phi i32 [ 0, %mid ], [ %j2, %l2 ]
+  %j2 = add i32 %j, 1
+  %c2 = icmp slt i32 %j2, %n
+  br i1 %c2, label %l2, label %exit
+exit:
+  ret void
+}
+)");
+  Function *F = M->functionByName("f");
+  Cfg G(*F);
+  LoopForest LF(G);
+  EXPECT_EQ(LF.numLoops(), 2u);
+  EXPECT_EQ(LF.topLevel().size(), 2u);
+  EXPECT_FALSE(LF.hasIrreducible());
+}
+
+TEST(LoopForest, IrreducibleFlagged) {
+  // Two-entry cycle a <-> b entered at both nodes.
+  auto M = parse(R"(
+define void @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br i1 %c, label %b, label %exit
+b:
+  br i1 %c, label %a, label %exit
+exit:
+  ret void
+}
+)");
+  Function *F = M->functionByName("f");
+  Cfg G(*F);
+  LoopForest LF(G);
+  EXPECT_TRUE(LF.hasIrreducible());
+}
+
+TEST(LoopForest, NoLoops) {
+  auto M = parse(R"(
+define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  ret i32 0
+}
+)");
+  Function *F = M->functionByName("f");
+  Cfg G(*F);
+  LoopForest LF(G);
+  EXPECT_EQ(LF.numLoops(), 0u);
+  EXPECT_EQ(LF.postOrder().size(), 0u);
+}
+
+} // namespace

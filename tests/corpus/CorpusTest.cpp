@@ -1,0 +1,126 @@
+//===- tests/corpus/CorpusTest.cpp --------------------------------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+// Sanity for the evaluation workloads: every corpus entry must parse and
+// verify, the generator must be deterministic, and the synthetic apps must
+// have the advertised shape.
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include "gtest/gtest.h"
+
+using namespace alive;
+using namespace alive::corpus;
+
+namespace {
+
+TEST(Corpus, UnitSuiteParsesAndVerifies) {
+  const auto &Suite = unitTestSuite();
+  EXPECT_GE(Suite.size(), 50u);
+  for (const TestPair &P : Suite) {
+    Diag Err;
+    auto SrcM = ir::parseModule(P.SrcIR, Err);
+    ASSERT_TRUE(SrcM) << P.Name << " src: " << Err.str();
+    EXPECT_TRUE(ir::verifyModule(*SrcM, Err)) << P.Name << ": " << Err.str();
+    auto TgtM = ir::parseModule(P.TgtIR, Err);
+    ASSERT_TRUE(TgtM) << P.Name << " tgt: " << Err.str();
+    EXPECT_TRUE(ir::verifyModule(*TgtM, Err)) << P.Name << ": " << Err.str();
+  }
+}
+
+TEST(Corpus, CategoriesCoverThePaperTaxonomy) {
+  std::set<std::string> Cats;
+  unsigned Buggy = 0, Correct = 0;
+  for (const TestPair &P : unitTestSuite()) {
+    Cats.insert(P.Category);
+    P.ExpectBug ? ++Buggy : ++Correct;
+  }
+  for (const char *C : {"undef", "branch-on-undef", "vector", "select-ub",
+                        "arith", "loop-mem", "fastmath", "bitcast", "memory",
+                        "calls", "correct"})
+    EXPECT_TRUE(Cats.count(C)) << "missing category " << C;
+  EXPECT_GE(Buggy, 20u);
+  EXPECT_GE(Correct, 20u);
+}
+
+TEST(Corpus, GeneratorIsDeterministicAndValid) {
+  for (uint64_t Seed : {1ull, 42ull, 0xdeadbeefull}) {
+    std::string A = generateFunctionIR(Seed, false, false);
+    std::string B = generateFunctionIR(Seed, false, false);
+    EXPECT_EQ(A, B) << "generator must be deterministic";
+    Diag Err;
+    auto M = ir::parseModule(A, Err);
+    ASSERT_TRUE(M) << Err.str() << "\n" << A;
+    EXPECT_TRUE(ir::verifyModule(*M, Err)) << Err.str() << "\n" << A;
+  }
+}
+
+class GeneratorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorSweep, AllShapesVerify) {
+  uint64_t Seed = 0x5eed0 + GetParam();
+  for (bool Loop : {false, true})
+    for (bool Mem : {false, true}) {
+      if (Loop && Mem)
+        continue;
+      std::string IR = generateFunctionIR(Seed, Loop, Mem);
+      Diag Err;
+      auto M = ir::parseModule(IR, Err);
+      ASSERT_TRUE(M) << Err.str() << "\n" << IR;
+      EXPECT_TRUE(ir::verifyModule(*M, Err)) << Err.str() << "\n" << IR;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSweep, ::testing::Range(0, 25));
+
+TEST(Corpus, GeneratedSuitePairsVerify) {
+  auto Suite = generatedSuite(10, 123);
+  ASSERT_EQ(Suite.size(), 10u);
+  for (const TestPair &P : Suite) {
+    Diag Err;
+    auto TgtM = ir::parseModule(P.TgtIR, Err);
+    ASSERT_TRUE(TgtM) << P.Name << ": " << Err.str() << "\n" << P.TgtIR;
+    EXPECT_TRUE(ir::verifyModule(*TgtM, Err))
+        << P.Name << ": " << Err.str() << "\n" << P.TgtIR;
+    EXPECT_FALSE(P.ExpectBug);
+  }
+}
+
+TEST(Corpus, KnownBugSuiteShape) {
+  const auto &S = knownBugSuite();
+  ASSERT_EQ(S.size(), 36u) << "the Section 8.5 study has 36 entries";
+  unsigned ExpectMissed = 0;
+  for (const KnownBug &B : S) {
+    Diag Err;
+    ASSERT_TRUE(ir::parseModule(B.Pair.SrcIR, Err)) << B.Pair.Name;
+    ASSERT_TRUE(ir::parseModule(B.Pair.TgtIR, Err)) << B.Pair.Name;
+    if (!B.ExpectDetected) {
+      ++ExpectMissed;
+      EXPECT_FALSE(B.MissReason.empty()) << B.Pair.Name;
+    }
+  }
+  EXPECT_EQ(ExpectMissed, 7u) << "the paper misses 7 of 36";
+}
+
+TEST(Corpus, AppsGenerateWithDeclaredShape) {
+  ASSERT_EQ(appSpecs().size(), 5u);
+  for (const AppSpec &Spec : appSpecs()) {
+    auto M = generateApp(Spec);
+    ASSERT_TRUE(M);
+    unsigned Defined = 0;
+    for (unsigned I = 0; I < M->numFunctions(); ++I)
+      Defined += !M->function(I)->isDeclaration();
+    EXPECT_EQ(Defined, Spec.Functions) << Spec.Name;
+    EXPECT_EQ(M->numGlobals(), 2u);
+    Diag Err;
+    EXPECT_TRUE(ir::verifyModule(*M, Err)) << Spec.Name << ": " << Err.str();
+  }
+}
+
+} // namespace

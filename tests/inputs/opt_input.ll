@@ -1,0 +1,7 @@
+define i16 @g(i16 %a) {
+entry:
+  %x = add i16 %a, 0
+  %y = mul i16 %x, 4
+  %z = add i16 %y, 0
+  ret i16 %z
+}

@@ -1,0 +1,6 @@
+define i8 @f(i8 %a, i8 %b) {
+entry:
+  %x = add i8 %a, %b
+  %y = sub i8 %x, %b
+  ret i8 %y
+}

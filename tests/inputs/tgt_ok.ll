@@ -1,0 +1,4 @@
+define i8 @f(i8 %a, i8 %b) {
+entry:
+  ret i8 %a
+}

@@ -1,0 +1,372 @@
+//===- tests/refine/MemoryRefineTest.cpp --------------------------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+// Refinement tests focused on the Section 4 memory model and the Section 6
+// call semantics: bounds UB, read-only blocks, store forwarding, aliasing,
+// globals, and call matching.
+//===----------------------------------------------------------------------===//
+
+#include "refine/Refinement.h"
+#include "ir/Parser.h"
+
+#include "gtest/gtest.h"
+
+using namespace alive;
+using namespace alive::refine;
+
+namespace {
+
+Verdict check(const char *SrcIR, const char *TgtIR, Options Opts = Options()) {
+  smt::resetContext();
+  auto SrcM = ir::parseModuleOrDie(SrcIR);
+  auto TgtM = ir::parseModuleOrDie(TgtIR);
+  const ir::Function *SF = SrcM->function(SrcM->numFunctions() - 1);
+  const ir::Function *TF = TgtM->functionByName(SF->name());
+  Opts.Budget.TimeoutSec = 30;
+  return verifyRefinement(*SF, *TF, SrcM.get(), Opts);
+}
+
+#define EXPECT_CORRECT(V)                                                      \
+  do {                                                                         \
+    Verdict Vv = (V);                                                          \
+    EXPECT_TRUE(Vv.isCorrect()) << Vv.kindName() << " at '" << Vv.FailedCheck  \
+                                << "': " << Vv.Detail;                         \
+  } while (0)
+#define EXPECT_INCORRECT(V)                                                    \
+  do {                                                                         \
+    Verdict Vv = (V);                                                          \
+    EXPECT_TRUE(Vv.isIncorrect())                                              \
+        << "expected a violation, got " << Vv.kindName() << ": " << Vv.Detail; \
+  } while (0)
+
+TEST(MemRefine, StoreLoadForwarding) {
+  EXPECT_CORRECT(check(R"(
+define i8 @f(ptr %p, i8 %v) {
+entry:
+  store i8 %v, ptr %p
+  %l = load i8, ptr %p
+  ret i8 %l
+}
+)",
+                       R"(
+define i8 @f(ptr %p, i8 %v) {
+entry:
+  store i8 %v, ptr %p
+  ret i8 %v
+}
+)"));
+}
+
+TEST(MemRefine, StoreRemovalObservable) {
+  EXPECT_INCORRECT(check(R"(
+define void @f(ptr %p) {
+entry:
+  store i8 1, ptr %p
+  ret void
+}
+)",
+                         R"(
+define void @f(ptr %p) {
+entry:
+  ret void
+}
+)"));
+}
+
+TEST(MemRefine, LocalTrafficInvisible) {
+  EXPECT_CORRECT(check(R"(
+define i8 @f(i8 %v) {
+entry:
+  %s = alloca i8
+  store i8 %v, ptr %s
+  %l = load i8, ptr %s
+  ret i8 %l
+}
+)",
+                       R"(
+define i8 @f(i8 %v) {
+entry:
+  ret i8 %v
+}
+)"));
+}
+
+TEST(MemRefine, ForwardAcrossMayAliasIsWrong) {
+  EXPECT_INCORRECT(check(R"(
+define i8 @f(ptr %p, ptr %q) {
+entry:
+  store i8 1, ptr %p
+  store i8 2, ptr %q
+  %l = load i8, ptr %p
+  ret i8 %l
+}
+)",
+                         R"(
+define i8 @f(ptr %p, ptr %q) {
+entry:
+  store i8 1, ptr %p
+  store i8 2, ptr %q
+  ret i8 1
+}
+)"));
+}
+
+TEST(MemRefine, MultiByteRoundTrip) {
+  EXPECT_CORRECT(check(R"(
+define i32 @f(ptr %p, i32 %v) {
+entry:
+  store i32 %v, ptr %p
+  %l = load i32, ptr %p
+  ret i32 %l
+}
+)",
+                       R"(
+define i32 @f(ptr %p, i32 %v) {
+entry:
+  store i32 %v, ptr %p
+  ret i32 %v
+}
+)"));
+}
+
+TEST(MemRefine, NarrowLoadOfWideStore) {
+  // Little-endian: the low byte of the stored i16 is at offset 0.
+  EXPECT_CORRECT(check(R"(
+define i8 @f(ptr %p, i16 %v) {
+entry:
+  store i16 %v, ptr %p
+  %l = load i8, ptr %p
+  ret i8 %l
+}
+)",
+                       R"(
+define i8 @f(ptr %p, i16 %v) {
+entry:
+  store i16 %v, ptr %p
+  %t = trunc i16 %v to i8
+  ret i8 %t
+}
+)"));
+}
+
+TEST(MemRefine, GepArithmetic) {
+  // *(p+1) after storing at p+1 through a differently-scaled gep.
+  EXPECT_CORRECT(check(R"(
+define i8 @f(ptr %p) {
+entry:
+  %g1 = gep ptr %p, i8 1
+  store i8 9, ptr %g1
+  %l = load i8, ptr %g1
+  ret i8 %l
+}
+)",
+                       R"(
+define i8 @f(ptr %p) {
+entry:
+  %g1 = gep ptr %p, i8 1
+  store i8 9, ptr %g1
+  ret i8 9
+}
+)"));
+}
+
+TEST(MemRefine, StoreToConstantGlobalIsUB) {
+  // Both functions store to a read-only global: UB on both sides, so any
+  // target refines. The interesting direction: the target adds the store.
+  EXPECT_INCORRECT(check(R"(
+@ro = constant [4 x i8]
+define void @f() {
+entry:
+  ret void
+}
+)",
+                         R"(
+@ro = constant [4 x i8]
+define void @f() {
+entry:
+  store i8 1, ptr @ro
+  ret void
+}
+)"));
+}
+
+TEST(MemRefine, GlobalStoreVisible) {
+  EXPECT_CORRECT(check(R"(
+@g = global [4 x i8]
+define void @f() {
+entry:
+  store i8 1, ptr @g
+  ret void
+}
+)",
+                       R"(
+@g = global [4 x i8]
+define void @f() {
+entry:
+  store i8 1, ptr @g
+  ret void
+}
+)"));
+  EXPECT_INCORRECT(check(R"(
+@g = global [4 x i8]
+define void @f() {
+entry:
+  store i8 1, ptr @g
+  ret void
+}
+)",
+                         R"(
+@g = global [4 x i8]
+define void @f() {
+entry:
+  store i8 2, ptr @g
+  ret void
+}
+)"));
+}
+
+TEST(MemRefine, OutOfBoundsStoreIntroducedIsUB) {
+  EXPECT_INCORRECT(check(R"(
+define void @f() {
+entry:
+  %s = alloca i8
+  store i8 1, ptr %s
+  ret void
+}
+)",
+                         R"(
+define void @f() {
+entry:
+  %s = alloca i8
+  %g = gep ptr %s, i8 1
+  store i8 1, ptr %g
+  ret void
+}
+)"));
+}
+
+TEST(MemRefine, NullStoreIsUBBothWays) {
+  // Both store to null: UB == UB, trivially refines.
+  const char *F = R"(
+define void @f() {
+entry:
+  store i8 1, ptr null
+  ret void
+}
+)";
+  EXPECT_CORRECT(check(F, F));
+}
+
+TEST(MemRefine, CallsMatchAcrossSides) {
+  EXPECT_CORRECT(check(R"(
+declare i8 @ext(i8)
+define i8 @f(i8 %a) {
+entry:
+  %r = call i8 @ext(i8 %a)
+  ret i8 %r
+}
+)",
+                       R"(
+declare i8 @ext(i8)
+define i8 @f(i8 %a) {
+entry:
+  %r = call i8 @ext(i8 %a)
+  ret i8 %r
+}
+)"));
+}
+
+TEST(MemRefine, CallResultCannotBeInvented) {
+  EXPECT_INCORRECT(check(R"(
+declare i8 @ext(i8)
+define i8 @f(i8 %a) {
+entry:
+  %r = call i8 @ext(i8 %a)
+  ret i8 %r
+}
+)",
+                         R"(
+declare i8 @ext(i8)
+define i8 @f(i8 %a) {
+entry:
+  ret i8 0
+}
+)"));
+}
+
+TEST(MemRefine, CallClobbersGlobalMemory) {
+  // Forwarding a global load across an unknown call is wrong.
+  EXPECT_INCORRECT(check(R"(
+@g = global [4 x i8]
+declare void @ext()
+define i8 @f() {
+entry:
+  store i8 1, ptr @g
+  call void @ext()
+  %l = load i8, ptr @g
+  ret i8 %l
+}
+)",
+                         R"(
+@g = global [4 x i8]
+declare void @ext()
+define i8 @f() {
+entry:
+  store i8 1, ptr @g
+  call void @ext()
+  ret i8 1
+}
+)"));
+}
+
+TEST(MemRefine, CallDoesNotClobberLocals) {
+  // The documented escaped-locals approximation (Section 8.5's miss mode):
+  // forwarding across a call is accepted for locals.
+  EXPECT_CORRECT(check(R"(
+declare void @ext()
+define i8 @f() {
+entry:
+  %s = alloca i8
+  store i8 7, ptr %s
+  call void @ext()
+  %l = load i8, ptr %s
+  ret i8 %l
+}
+)",
+                       R"(
+declare void @ext()
+define i8 @f() {
+entry:
+  %s = alloca i8
+  store i8 7, ptr %s
+  call void @ext()
+  ret i8 7
+}
+)"));
+}
+
+TEST(MemRefine, LoadSpeculationOverGuard) {
+  EXPECT_INCORRECT(check(R"(
+define i8 @f(ptr %p, i1 %c) {
+entry:
+  br i1 %c, label %l, label %s
+l:
+  %v = load i8, ptr %p
+  ret i8 %v
+s:
+  ret i8 0
+}
+)",
+                         R"(
+define i8 @f(ptr %p, i1 %c) {
+entry:
+  %v = load i8, ptr %p
+  %r = select i1 %c, i8 %v, i8 0
+  ret i8 %r
+}
+)"));
+}
+
+} // namespace

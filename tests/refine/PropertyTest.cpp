@@ -1,0 +1,140 @@
+//===- tests/refine/PropertyTest.cpp ------------------------------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+// Property-based sweeps over the whole validation stack:
+//   * reflexivity: every generated function refines itself;
+//   * pipeline soundness: the correct optimizer's output refines its input
+//     (the zero-false-alarm invariant the paper's deployment rests on);
+//   * bounded monotonicity: a bug exposed at unroll K is never reported at
+//     smaller bounds as anything other than vacuity/correctness, and the
+//     validator never raises an alarm on the correct loop-fold twins.
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "opt/Pass.h"
+#include "refine/Refinement.h"
+
+#include "gtest/gtest.h"
+
+using namespace alive;
+
+namespace {
+
+refine::Verdict run(const std::string &SrcIR, const std::string &TgtIR,
+                    unsigned Unroll = 4) {
+  smt::resetContext();
+  auto SrcM = ir::parseModuleOrDie(SrcIR);
+  auto TgtM = ir::parseModuleOrDie(TgtIR);
+  const ir::Function *SF = SrcM->function(SrcM->numFunctions() - 1);
+  const ir::Function *TF = TgtM->functionByName(SF->name());
+  refine::Options Opts;
+  Opts.UnrollFactor = Unroll;
+  Opts.Budget.TimeoutSec = 25;
+  return refine::verifyRefinement(*SF, *TF, SrcM.get(), Opts);
+}
+
+class Reflexivity : public ::testing::TestWithParam<int> {};
+
+TEST_P(Reflexivity, GeneratedFunctionRefinesItself) {
+  uint64_t Seed = 0x5e1f + GetParam();
+  bool Loop = GetParam() % 3 == 0;
+  bool Mem = !Loop && GetParam() % 3 == 1;
+  std::string IR = corpus::generateFunctionIR(Seed, Loop, Mem);
+  refine::Verdict V = run(IR, IR);
+  EXPECT_FALSE(V.isIncorrect())
+      << "self-refinement must never be a violation (seed " << Seed << ")\n"
+      << IR << V.FailedCheck << "\n" << V.Detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Reflexivity, ::testing::Range(0, 18));
+
+class PipelineSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineSoundness, OptimizedCodeRefinesOriginal) {
+  uint64_t Seed = 0x0b7 + GetParam();
+  bool Mem = GetParam() % 2 == 0;
+  std::string IR = corpus::generateFunctionIR(Seed, false, Mem);
+  smt::resetContext();
+  auto M = ir::parseModuleOrDie(IR);
+  ir::Function *F = M->function(0);
+  auto Before = F->clone();
+  opt::runPipeline(*M, opt::defaultPipeline());
+  refine::Options Opts;
+  Opts.UnrollFactor = 4;
+  Opts.Budget.TimeoutSec = 25;
+  refine::Verdict V = refine::verifyRefinement(*Before, *F, M.get(), Opts);
+  EXPECT_FALSE(V.isIncorrect())
+      << "the correct pipeline miscompiled seed " << Seed << ":\n"
+      << ir::printFunction(*Before) << "=>\n" << ir::printFunction(*F)
+      << V.FailedCheck << "\n" << V.Detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineSoundness, ::testing::Range(0, 14));
+
+class BoundedDetection : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BoundedDetection, LoopBugVisibleExactlyFromItsIteration) {
+  unsigned K = GetParam();
+  // Locate the loop-bug/fold pair in the corpus.
+  std::string Bug = "loop-bug-at-" + std::to_string(K);
+  std::string Fold = "loop-fold-at-" + std::to_string(K);
+  const corpus::TestPair *BugP = nullptr, *FoldP = nullptr;
+  for (const auto &P : corpus::unitTestSuite()) {
+    if (P.Name == Bug)
+      BugP = &P;
+    if (P.Name == Fold)
+      FoldP = &P;
+  }
+  ASSERT_TRUE(BugP && FoldP);
+
+  // Below the bound: vacuous or correct, never an alarm.
+  if (K > 1) {
+    refine::Verdict V = run(BugP->SrcIR, BugP->TgtIR, K - 1);
+    EXPECT_FALSE(V.isIncorrect())
+        << "bug at iteration " << K << " leaked through bound " << K - 1;
+  }
+  // At the bound: detected.
+  {
+    refine::Verdict V = run(BugP->SrcIR, BugP->TgtIR, K);
+    EXPECT_TRUE(V.isIncorrect()) << V.kindName() << " " << V.Detail;
+  }
+  // The correct twin is never an alarm at any bound.
+  for (unsigned U : {K, K + 2}) {
+    refine::Verdict V = run(FoldP->SrcIR, FoldP->TgtIR, U);
+    EXPECT_FALSE(V.isIncorrect())
+        << "false alarm on the correct fold at unroll " << U;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Iterations, BoundedDetection,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u));
+
+TEST(Property, EveryBuggyUnitPairIsNeverMisjudgedAsCorrectlyTransformed) {
+  // For buggy pairs within the bound the verdict must never be "correct";
+  // for correct pairs it must never be "incorrect" (the zero-false-alarm
+  // goal). Timeouts are acceptable either way.
+  refine::Options Opts;
+  Opts.UnrollFactor = 4;
+  Opts.Budget.TimeoutSec = 15;
+  for (const auto &P : corpus::unitTestSuite()) {
+    if (P.NeedsUnroll > Opts.UnrollFactor)
+      continue;
+    smt::resetContext();
+    auto SrcM = ir::parseModuleOrDie(P.SrcIR);
+    auto TgtM = ir::parseModuleOrDie(P.TgtIR);
+    const ir::Function *SF = SrcM->function(SrcM->numFunctions() - 1);
+    const ir::Function *TF = TgtM->functionByName(SF->name());
+    refine::Verdict V = refine::verifyRefinement(*SF, *TF, SrcM.get(), Opts);
+    if (P.ExpectBug)
+      EXPECT_FALSE(V.isCorrect()) << P.Name << " judged correct";
+    else
+      EXPECT_FALSE(V.isIncorrect())
+          << P.Name << " false alarm: " << V.FailedCheck << "\n" << V.Detail;
+  }
+}
+
+} // namespace

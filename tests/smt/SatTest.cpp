@@ -1,0 +1,200 @@
+//===- tests/smt/SatTest.cpp -----------------------------------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+// Tests for the CDCL SAT core: hand-built instances, pigeonhole UNSAT
+// certificates, budget handling, incremental solving, and a randomized
+// cross-check against a brute-force enumerator.
+//===----------------------------------------------------------------------===//
+
+#include "smt/Sat.h"
+#include "support/Diag.h"
+
+#include "gtest/gtest.h"
+
+#include <vector>
+
+using namespace alive;
+using namespace alive::smt;
+
+namespace {
+
+TEST(Sat, TrivialSat) {
+  SatSolver S;
+  int A = S.newVar(), B = S.newVar();
+  S.addClause(mkLit(A), mkLit(B));
+  S.addClause(negLit(mkLit(A)));
+  ASSERT_EQ(S.solve(), SatStatus::Sat);
+  EXPECT_FALSE(S.modelValue(A));
+  EXPECT_TRUE(S.modelValue(B));
+}
+
+TEST(Sat, TrivialUnsat) {
+  SatSolver S;
+  int A = S.newVar();
+  S.addClause(mkLit(A));
+  EXPECT_FALSE(S.addClause(negLit(mkLit(A))));
+  EXPECT_EQ(S.solve(), SatStatus::Unsat);
+}
+
+TEST(Sat, EmptyClauseIsUnsat) {
+  SatSolver S;
+  S.newVar();
+  EXPECT_FALSE(S.addClause(std::vector<Lit>{}));
+  EXPECT_EQ(S.solve(), SatStatus::Unsat);
+}
+
+TEST(Sat, TautologyIsDropped) {
+  SatSolver S;
+  int A = S.newVar();
+  EXPECT_TRUE(S.addClause(mkLit(A), negLit(mkLit(A))));
+  EXPECT_EQ(S.solve(), SatStatus::Sat);
+}
+
+TEST(Sat, ChainPropagation) {
+  // x0 and (x_i -> x_{i+1}) for a long chain; then force !x_n: UNSAT.
+  SatSolver S;
+  const int N = 200;
+  std::vector<int> Vars;
+  for (int I = 0; I <= N; ++I)
+    Vars.push_back(S.newVar());
+  S.addClause(mkLit(Vars[0]));
+  for (int I = 0; I < N; ++I)
+    S.addClause(negLit(mkLit(Vars[I])), mkLit(Vars[I + 1]));
+  ASSERT_EQ(S.solve(), SatStatus::Sat);
+  for (int I = 0; I <= N; ++I)
+    EXPECT_TRUE(S.modelValue(Vars[I]));
+  S.addClause(negLit(mkLit(Vars[N])));
+  EXPECT_EQ(S.solve(), SatStatus::Unsat);
+}
+
+/// Builds the pigeonhole principle PHP(Holes+1, Holes): unsatisfiable and
+/// requires real conflict-driven search.
+static void buildPigeonhole(SatSolver &S, int Holes) {
+  int Pigeons = Holes + 1;
+  std::vector<std::vector<int>> V(Pigeons, std::vector<int>(Holes));
+  for (int P = 0; P < Pigeons; ++P)
+    for (int H = 0; H < Holes; ++H)
+      V[P][H] = S.newVar();
+  for (int P = 0; P < Pigeons; ++P) {
+    std::vector<Lit> C;
+    for (int H = 0; H < Holes; ++H)
+      C.push_back(mkLit(V[P][H]));
+    S.addClause(C);
+  }
+  for (int H = 0; H < Holes; ++H)
+    for (int P1 = 0; P1 < Pigeons; ++P1)
+      for (int P2 = P1 + 1; P2 < Pigeons; ++P2)
+        S.addClause(negLit(mkLit(V[P1][H])), negLit(mkLit(V[P2][H])));
+}
+
+TEST(Sat, PigeonholeUnsat) {
+  for (int Holes = 2; Holes <= 6; ++Holes) {
+    SatSolver S;
+    buildPigeonhole(S, Holes);
+    EXPECT_EQ(S.solve(), SatStatus::Unsat) << "PHP with " << Holes;
+  }
+}
+
+TEST(Sat, ConflictBudgetReturnsUnknown) {
+  SatSolver S;
+  buildPigeonhole(S, 9); // hard enough to exceed a tiny conflict budget
+  SatLimits L;
+  L.MaxConflicts = 5;
+  SatStatus R = S.solve(L);
+  EXPECT_EQ(R, SatStatus::Unknown);
+  EXPECT_STREQ(S.unknownReason(), "conflict budget");
+}
+
+TEST(Sat, IncrementalSolving) {
+  SatSolver S;
+  int A = S.newVar(), B = S.newVar(), C = S.newVar();
+  S.addClause(mkLit(A), mkLit(B));
+  ASSERT_EQ(S.solve(), SatStatus::Sat);
+  S.addClause(negLit(mkLit(A)));
+  ASSERT_EQ(S.solve(), SatStatus::Sat);
+  EXPECT_TRUE(S.modelValue(B));
+  S.addClause(negLit(mkLit(B)), mkLit(C));
+  ASSERT_EQ(S.solve(), SatStatus::Sat);
+  EXPECT_TRUE(S.modelValue(C));
+  S.addClause(negLit(mkLit(C)));
+  EXPECT_EQ(S.solve(), SatStatus::Unsat);
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized cross-check against brute force
+//===----------------------------------------------------------------------===//
+
+static bool bruteForceSat(int NumVars,
+                          const std::vector<std::vector<Lit>> &Clauses) {
+  for (uint32_t Assign = 0; Assign < (1u << NumVars); ++Assign) {
+    bool AllSat = true;
+    for (const auto &C : Clauses) {
+      bool ClauseSat = false;
+      for (Lit L : C) {
+        bool V = (Assign >> litVar(L)) & 1;
+        if (litSign(L))
+          V = !V;
+        if (V) {
+          ClauseSat = true;
+          break;
+        }
+      }
+      if (!ClauseSat) {
+        AllSat = false;
+        break;
+      }
+    }
+    if (AllSat)
+      return true;
+  }
+  return false;
+}
+
+class SatRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatRandom, MatchesBruteForce) {
+  int Seed = GetParam();
+  Rng R(Seed);
+  for (int Round = 0; Round < 60; ++Round) {
+    int NumVars = 3 + (int)R.next(10);
+    // Around the 3-SAT phase transition (ratio ~4.3) to get both outcomes.
+    int NumClauses = (int)(NumVars * (3.0 + (double)R.next(3)));
+    SatSolver S;
+    for (int I = 0; I < NumVars; ++I)
+      S.newVar();
+    std::vector<std::vector<Lit>> Clauses;
+    bool AddedOk = true;
+    for (int I = 0; I < NumClauses; ++I) {
+      std::vector<Lit> C;
+      int Len = 1 + (int)R.next(3);
+      for (int J = 0; J < Len; ++J)
+        C.push_back(mkLit((int)R.next(NumVars), R.chance(1, 2)));
+      Clauses.push_back(C);
+      AddedOk &= S.addClause(C);
+    }
+    bool Expected = bruteForceSat(NumVars, Clauses);
+    if (!AddedOk) {
+      EXPECT_FALSE(Expected);
+      continue;
+    }
+    SatStatus Got = S.solve();
+    ASSERT_NE(Got, SatStatus::Unknown);
+    EXPECT_EQ(Got == SatStatus::Sat, Expected);
+    if (Got == SatStatus::Sat) {
+      // The model must actually satisfy all the clauses.
+      for (const auto &C : Clauses) {
+        bool ClauseSat = false;
+        for (Lit L : C)
+          if (S.modelValue(litVar(L)) != litSign(L))
+            ClauseSat = true;
+        EXPECT_TRUE(ClauseSat);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatRandom, ::testing::Range(1, 9));
+
+} // namespace

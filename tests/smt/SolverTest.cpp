@@ -1,0 +1,140 @@
+//===- tests/smt/SolverTest.cpp --------------------------------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+// Tests for the solver facade: incremental assertions, model extraction,
+// Ackermannization of uninterpreted applications (functional consistency),
+// and resource budget verdicts.
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+#include "support/Diag.h"
+
+#include "gtest/gtest.h"
+
+using namespace alive;
+using namespace alive::smt;
+
+namespace {
+
+TEST(Solver, IncrementalNarrowing) {
+  Expr X = mkFreshVar("x", 8);
+  Solver S;
+  S.add(mkUgt(X, mkBV(8, 10)));
+  ASSERT_TRUE(S.check().isSat());
+  S.add(mkUlt(X, mkBV(8, 13)));
+  SolveOutcome R = S.check();
+  ASSERT_TRUE(R.isSat());
+  uint64_t V = R.M.get(X).low64();
+  EXPECT_TRUE(V == 11 || V == 12) << V;
+  S.add(mkNe(X, mkBV(8, 11)));
+  S.add(mkNe(X, mkBV(8, 12)));
+  EXPECT_TRUE(S.check().isUnsat());
+}
+
+TEST(Solver, TriviallyFalseAssertion) {
+  Solver S;
+  S.add(mkFalse());
+  EXPECT_TRUE(S.check().isUnsat());
+}
+
+TEST(Solver, ModelCoversAllAssertedVars) {
+  Expr X = mkFreshVar("x", 8), Y = mkFreshVar("y", 4), P = mkFreshVar("p", 0);
+  Solver S;
+  S.add(mkEq(X, mkBV(8, 77)));
+  S.add(mkEq(Y, mkBV(4, 5)));
+  S.add(P);
+  SolveOutcome R = S.check();
+  ASSERT_TRUE(R.isSat());
+  EXPECT_EQ(R.M.get(X).low64(), 77u);
+  EXPECT_EQ(R.M.get(Y).low64(), 5u);
+  EXPECT_TRUE(R.M.getBool(P));
+}
+
+TEST(Solver, AckermannFunctionalConsistency) {
+  // f(x) != f(y) /\ x == y must be UNSAT.
+  Expr X = mkFreshVar("x", 8), Y = mkFreshVar("y", 8);
+  Expr FX = mkApp("f", 8, {X});
+  Expr FY = mkApp("f", 8, {Y});
+  Solver S;
+  S.add(mkEq(X, Y));
+  S.add(mkNe(FX, FY));
+  EXPECT_TRUE(S.check().isUnsat());
+}
+
+TEST(Solver, AckermannAllowsDistinctResults) {
+  // f(1) != f(2) is satisfiable: f is uninterpreted.
+  Expr F1 = mkApp("f", 8, {mkBV(8, 1)});
+  Expr F2 = mkApp("f", 8, {mkBV(8, 2)});
+  EXPECT_TRUE(checkSat(mkNe(F1, F2)).isSat());
+  // But f(1) != f(1) is not (hash-consing makes them identical).
+  EXPECT_TRUE(checkSat(mkNe(F1, mkApp("f", 8, {mkBV(8, 1)}))).isUnsat());
+}
+
+TEST(Solver, AckermannCrossAssertionConsistency) {
+  // Apps asserted incrementally still respect congruence.
+  Expr X = mkFreshVar("x", 8);
+  Expr Out1 = mkFreshVar("o1", 8), Out2 = mkFreshVar("o2", 8);
+  Solver S;
+  S.add(mkEq(Out1, mkApp("g", 8, {X, mkBV(8, 3)})));
+  S.add(mkEq(Out2, mkApp("g", 8, {mkAdd(X, mkBV(8, 0)), mkBV(8, 3)})));
+  S.add(mkNe(Out1, Out2));
+  EXPECT_TRUE(S.check().isUnsat())
+      << "x+0 folds to x so both apps are syntactically equal";
+
+  Solver S2;
+  Expr Y = mkFreshVar("y", 8);
+  S2.add(mkEq(Out1, mkApp("g", 8, {X, mkBV(8, 3)})));
+  S2.add(mkEq(Out2, mkApp("g", 8, {Y, mkBV(8, 3)})));
+  S2.add(mkEq(X, Y));
+  S2.add(mkNe(Out1, Out2));
+  EXPECT_TRUE(S2.check().isUnsat()) << "congruence across assertions";
+}
+
+TEST(Solver, NestedApps) {
+  // h(h(x)) with x == c must equal h(h(c)).
+  Expr X = mkFreshVar("x", 4);
+  Expr C = mkBV(4, 9);
+  Expr HX = mkApp("h", 4, {mkApp("h", 4, {X})});
+  Expr HC = mkApp("h", 4, {mkApp("h", 4, {C})});
+  Solver S;
+  S.add(mkEq(X, C));
+  S.add(mkNe(HX, HC));
+  EXPECT_TRUE(S.check().isUnsat());
+}
+
+TEST(Solver, DifferentFunctionsUnrelated) {
+  Expr X = mkFreshVar("x", 8);
+  Expr FX = mkApp("f", 8, {X});
+  Expr GX = mkApp("g", 8, {X});
+  EXPECT_TRUE(checkSat(mkNe(FX, GX)).isSat());
+}
+
+TEST(Solver, TimeoutVerdict) {
+  // A hard instance (wide multiplication equivalence) with a microscopic
+  // time budget must report timeout, matching the paper's TO bucket.
+  Expr X = mkFreshVar("x", 32), Y = mkFreshVar("y", 32);
+  Expr Hard = mkEq(mkMul(X, Y), mkAdd(mkMul(Y, mkBVNot(X)), mkBV(32, 17)));
+  SolverBudget B;
+  B.TimeoutSec = 0.02;
+  SolveOutcome R = checkSat(Hard, B);
+  // Either the solver is lucky and finds a model fast, or it times out;
+  // it must never claim UNSAT.
+  EXPECT_FALSE(R.isUnsat());
+  if (R.isUnknown())
+    EXPECT_EQ(R.UnknownReason, "timeout");
+}
+
+TEST(Solver, CheckIsRepeatable) {
+  Expr X = mkFreshVar("x", 8);
+  Solver S;
+  S.add(mkUgt(X, mkBV(8, 250)));
+  SolveOutcome R1 = S.check();
+  SolveOutcome R2 = S.check();
+  ASSERT_TRUE(R1.isSat());
+  ASSERT_TRUE(R2.isSat());
+  EXPECT_TRUE(R2.M.get(X).ugt(BitVec(8, 250)));
+}
+
+} // namespace

@@ -1,0 +1,275 @@
+//===- tests/support/BitVecTest.cpp ----------------------------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+// Unit and property tests for the arbitrary-width bit-vector value domain.
+// The property sweeps cross-check every operation against native unsigned
+// __int128 arithmetic at widths up to 64 bits.
+//===----------------------------------------------------------------------===//
+
+#include "support/BitVec.h"
+#include "support/Diag.h"
+
+#include "gtest/gtest.h"
+
+using namespace alive;
+
+namespace {
+
+TEST(BitVec, BasicConstruction) {
+  BitVec A(8, 0x2a);
+  EXPECT_EQ(A.width(), 8u);
+  EXPECT_EQ(A.low64(), 0x2au);
+  EXPECT_FALSE(A.isZero());
+  EXPECT_TRUE(BitVec(8, 0).isZero());
+  EXPECT_TRUE(BitVec(8, 1).isOne());
+}
+
+TEST(BitVec, MaskingOnConstruction) {
+  BitVec A(4, 0xff);
+  EXPECT_EQ(A.low64(), 0xfu);
+  BitVec B(1, 2);
+  EXPECT_TRUE(B.isZero());
+}
+
+TEST(BitVec, AllOnesAndBounds) {
+  EXPECT_EQ(BitVec::allOnes(8).low64(), 0xffu);
+  EXPECT_EQ(BitVec::signedMin(8).low64(), 0x80u);
+  EXPECT_EQ(BitVec::signedMax(8).low64(), 0x7fu);
+  EXPECT_TRUE(BitVec::allOnes(64).isAllOnes());
+  EXPECT_TRUE(BitVec::allOnes(65).isAllOnes());
+}
+
+TEST(BitVec, WideValues) {
+  BitVec A = BitVec::allOnes(128);
+  EXPECT_EQ(A.width(), 128u);
+  EXPECT_TRUE(A.bit(127));
+  BitVec B = A.add(BitVec(128, 1));
+  EXPECT_TRUE(B.isZero()) << "all-ones + 1 wraps to zero";
+  BitVec C = A.mul(A); // (-1) * (-1) = 1 mod 2^128
+  EXPECT_TRUE(C.isOne());
+}
+
+TEST(BitVec, ConcatExtract) {
+  BitVec Hi(8, 0xab), Lo(8, 0xcd);
+  BitVec C = Hi.concat(Lo);
+  EXPECT_EQ(C.width(), 16u);
+  EXPECT_EQ(C.low64(), 0xabcdu);
+  EXPECT_EQ(C.extract(0, 8).low64(), 0xcdu);
+  EXPECT_EQ(C.extract(8, 8).low64(), 0xabu);
+  EXPECT_EQ(C.extract(4, 8).low64(), 0xbcu);
+}
+
+TEST(BitVec, ExtensionAndTruncation) {
+  BitVec A(8, 0x80);
+  EXPECT_EQ(A.zext(16).low64(), 0x80u);
+  EXPECT_EQ(A.sext(16).low64(), 0xff80u);
+  EXPECT_EQ(BitVec(8, 0x7f).sext(16).low64(), 0x7fu);
+  EXPECT_EQ(BitVec(16, 0x1234).trunc(8).low64(), 0x34u);
+}
+
+TEST(BitVec, DivisionByZeroSemantics) {
+  // SMT-LIB bvudiv x 0 = all ones; bvurem x 0 = x.
+  BitVec A(8, 42), Z(8, 0);
+  EXPECT_TRUE(A.udiv(Z).isAllOnes());
+  EXPECT_EQ(A.urem(Z).low64(), 42u);
+  // bvsdiv x 0 = (x < 0 ? 1 : -1); bvsrem x 0 = x.
+  EXPECT_TRUE(A.sdiv(Z).isAllOnes());
+  BitVec Neg(8, 0xd6); // -42
+  EXPECT_TRUE(Neg.sdiv(Z).isOne());
+  EXPECT_EQ(Neg.srem(Z).low64(), 0xd6u);
+}
+
+TEST(BitVec, SignedDivisionRounding) {
+  // C-style truncation toward zero: -7 / 2 == -3, -7 % 2 == -1.
+  BitVec A(8, (uint64_t)(uint8_t)-7), B(8, 2);
+  EXPECT_EQ((int8_t)A.sdiv(B).low64(), -3);
+  EXPECT_EQ((int8_t)A.srem(B).low64(), -1);
+  // 7 / -2 == -3, 7 % -2 == 1.
+  BitVec C(8, 7), D(8, (uint64_t)(uint8_t)-2);
+  EXPECT_EQ((int8_t)C.sdiv(D).low64(), -3);
+  EXPECT_EQ((int8_t)C.srem(D).low64(), 1);
+}
+
+TEST(BitVec, ShiftEdgeCases) {
+  BitVec A(8, 0x81);
+  EXPECT_EQ(A.shl(BitVec(8, 8)).low64(), 0u) << "shift by width is zero";
+  EXPECT_EQ(A.lshr(BitVec(8, 9)).low64(), 0u);
+  EXPECT_TRUE(A.ashr(BitVec(8, 200)).isAllOnes())
+      << "ashr of negative by >= width fills with sign";
+  EXPECT_EQ(BitVec(8, 0x41).ashr(BitVec(8, 200)).low64(), 0u);
+}
+
+TEST(BitVec, StringRoundTrip) {
+  BitVec V;
+  ASSERT_TRUE(BitVec::fromString(16, "12345", V));
+  EXPECT_EQ(V.low64(), 12345u);
+  EXPECT_EQ(V.toString(), "12345");
+  ASSERT_TRUE(BitVec::fromString(16, "-1", V));
+  EXPECT_TRUE(V.isAllOnes());
+  EXPECT_EQ(V.toSignedString(), "-1");
+  ASSERT_TRUE(BitVec::fromString(16, "0xBeEf", V));
+  EXPECT_EQ(V.low64(), 0xbeefu);
+  EXPECT_EQ(V.toHexString(), "0xbeef");
+  EXPECT_FALSE(BitVec::fromString(16, "12x", V));
+  EXPECT_FALSE(BitVec::fromString(16, "", V));
+  EXPECT_FALSE(BitVec::fromString(16, "-", V));
+}
+
+TEST(BitVec, NarrowWidthToString) {
+  // Regression: at widths < 4 the divisor 10 used to wrap to 0, sending
+  // toString into an infinite loop.
+  EXPECT_EQ(BitVec(1, 1).toString(), "1");
+  EXPECT_EQ(BitVec(1, 0).toString(), "0");
+  EXPECT_EQ(BitVec(2, 3).toString(), "3");
+  EXPECT_EQ(BitVec(3, 7).toString(), "7");
+  EXPECT_EQ(BitVec(1, 1).toSignedString(), "-1");
+  EXPECT_EQ(BitVec(3, 5).toSignedString(), "-3");
+}
+
+TEST(BitVec, OverflowPredicates) {
+  BitVec Max = BitVec::signedMax(8), One(8, 1);
+  EXPECT_TRUE(Max.saddOverflow(One));
+  EXPECT_FALSE(Max.uaddOverflow(One));
+  EXPECT_TRUE(BitVec::allOnes(8).uaddOverflow(One));
+  EXPECT_TRUE(BitVec::signedMin(8).ssubOverflow(One));
+  EXPECT_TRUE(BitVec(8, 16).umulOverflow(BitVec(8, 16)));
+  EXPECT_FALSE(BitVec(8, 15).umulOverflow(BitVec(8, 16)));
+  EXPECT_TRUE(BitVec(8, 64).smulOverflow(BitVec(8, 2)));
+  EXPECT_FALSE(BitVec(8, 63).smulOverflow(BitVec(8, 2)));
+}
+
+TEST(BitVec, CountsAndPredicates) {
+  BitVec A(8, 0x50);
+  EXPECT_EQ(A.countLeadingZeros(), 1u);
+  EXPECT_EQ(A.countTrailingZeros(), 4u);
+  EXPECT_EQ(A.popCount(), 2u);
+  EXPECT_FALSE(A.isPowerOf2());
+  EXPECT_TRUE(BitVec(8, 0x40).isPowerOf2());
+  EXPECT_EQ(BitVec(8, 0).countLeadingZeros(), 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// Property sweep against native arithmetic
+//===----------------------------------------------------------------------===//
+
+class BitVecProperty : public ::testing::TestWithParam<unsigned> {};
+
+using U128 = unsigned __int128;
+
+static U128 maskFor(unsigned W) {
+  return W >= 128 ? ~U128(0) : ((U128(1) << W) - 1);
+}
+
+TEST_P(BitVecProperty, MatchesNativeArithmetic) {
+  unsigned W = GetParam();
+  ASSERT_LE(W, 64u);
+  Rng R(0xb17c0de + W);
+  U128 Mask = maskFor(W);
+  for (int Iter = 0; Iter < 500; ++Iter) {
+    uint64_t A64 = R.next() & (uint64_t)Mask;
+    uint64_t B64 = R.next() & (uint64_t)Mask;
+    if (R.chance(1, 8))
+      B64 = 0; // exercise division-by-zero paths
+    BitVec A(W, A64), B(W, B64);
+    U128 UA = A64, UB = B64;
+
+    EXPECT_EQ(A.add(B).low64(), (uint64_t)((UA + UB) & Mask));
+    EXPECT_EQ(A.sub(B).low64(), (uint64_t)((UA - UB) & Mask));
+    EXPECT_EQ(A.mul(B).low64(), (uint64_t)((UA * UB) & Mask));
+    EXPECT_EQ(A.bvand(B).low64(), (uint64_t)(UA & UB));
+    EXPECT_EQ(A.bvor(B).low64(), (uint64_t)(UA | UB));
+    EXPECT_EQ(A.bvxor(B).low64(), (uint64_t)((UA ^ UB) & Mask));
+    EXPECT_EQ(A.bvnot().low64(), (uint64_t)(~UA & Mask));
+    EXPECT_EQ(A.neg().low64(), (uint64_t)((0 - UA) & Mask));
+    EXPECT_EQ(A.ult(B), UA < UB);
+    EXPECT_EQ(A.ule(B), UA <= UB);
+
+    // Signed comparison via sign-extension to 128 bits.
+    auto SExt = [W](U128 V) -> __int128 {
+      unsigned Shift = 128 - W;
+      return ((__int128)(V << Shift)) >> Shift;
+    };
+    EXPECT_EQ(A.slt(B), SExt(UA) < SExt(UB));
+    EXPECT_EQ(A.sle(B), SExt(UA) <= SExt(UB));
+
+    if (B64 != 0) {
+      EXPECT_EQ(A.udiv(B).low64(), (uint64_t)(UA / UB));
+      EXPECT_EQ(A.urem(B).low64(), (uint64_t)(UA % UB));
+      __int128 SA = SExt(UA), SB = SExt(UB);
+      EXPECT_EQ(A.sdiv(B).low64(), (uint64_t)((U128)(SA / SB) & Mask));
+      EXPECT_EQ(A.srem(B).low64(), (uint64_t)((U128)(SA % SB) & Mask));
+    }
+
+    // The shift amount operand wraps to W bits on construction, so compute
+    // the expectation from the wrapped value.
+    BitVec ShV(W, R.next(W + 4));
+    unsigned Sh = (unsigned)ShV.low64();
+    EXPECT_EQ(A.shl(ShV).low64(),
+              Sh >= W ? 0u : (uint64_t)((UA << Sh) & Mask));
+    EXPECT_EQ(A.lshr(ShV).low64(), Sh >= W ? 0u : (uint64_t)(UA >> Sh));
+    {
+      auto SA = SExt(UA);
+      uint64_t Expect =
+          Sh >= W ? (uint64_t)((U128)(SA >> 127) & Mask)
+                  : (uint64_t)(((U128)(SA >> Sh)) & Mask);
+      EXPECT_EQ(A.ashr(ShV).low64(), Expect);
+    }
+
+    EXPECT_EQ(A.uaddOverflow(B), ((UA + UB) & Mask) < UA);
+    {
+      __int128 S = SExt(UA) + SExt(UB);
+      __int128 Lo = -(__int128)(Mask / 2) - 1, Hi = (__int128)(Mask / 2);
+      EXPECT_EQ(A.saddOverflow(B), S < Lo || S > Hi);
+      __int128 D = SExt(UA) - SExt(UB);
+      EXPECT_EQ(A.ssubOverflow(B), D < Lo || D > Hi);
+      __int128 P = SExt(UA) * SExt(UB);
+      if (W <= 32)
+        EXPECT_EQ(A.smulOverflow(B), P < Lo || P > Hi);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitVecProperty,
+                         ::testing::Values(1u, 2u, 3u, 7u, 8u, 13u, 16u, 31u,
+                                           32u, 33u, 63u, 64u));
+
+class BitVecWideProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitVecWideProperty, AlgebraicLawsHoldAtWideWidths) {
+  unsigned W = GetParam();
+  Rng R(0x5eed + W);
+  for (int Iter = 0; Iter < 100; ++Iter) {
+    std::vector<uint64_t> AW, BW;
+    for (unsigned I = 0; I < (W + 63) / 64; ++I) {
+      AW.push_back(R.next());
+      BW.push_back(R.next());
+    }
+    BitVec A(W, AW), B(W, BW);
+    EXPECT_EQ(A.add(B), B.add(A));
+    EXPECT_EQ(A.mul(B), B.mul(A));
+    EXPECT_EQ(A.sub(B).add(B), A);
+    EXPECT_EQ(A.bvxor(B).bvxor(B), A);
+    EXPECT_EQ(A.bvnot().bvnot(), A);
+    EXPECT_EQ(A.neg().neg(), A);
+    if (!B.isZero()) {
+      // a = (a / b) * b + (a % b)
+      EXPECT_EQ(A.udiv(B).mul(B).add(A.urem(B)), A);
+      EXPECT_TRUE(A.urem(B).ult(B));
+    }
+    // Round-trips.
+    EXPECT_EQ(A.zext(W + 37).trunc(W), A);
+    EXPECT_EQ(A.sext(W + 37).trunc(W), A);
+    EXPECT_EQ(A.concat(B).extract(0, W), B);
+    EXPECT_EQ(A.concat(B).extract(W, W), A);
+    BitVec Parsed;
+    ASSERT_TRUE(BitVec::fromString(W, A.toString(), Parsed));
+    EXPECT_EQ(Parsed, A);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WideWidths, BitVecWideProperty,
+                         ::testing::Values(65u, 100u, 128u, 200u, 256u));
+
+} // namespace

@@ -1,0 +1,273 @@
+//===- tests/transform/UnrollTest.cpp ---------------------------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+// Structural tests for the Section 7 bounded loop unroller: block counts,
+// sink creation, phi patching, verifier cleanliness, nested loops, and the
+// outside-use repair strategies.
+//===----------------------------------------------------------------------===//
+
+#include "transform/Unroll.h"
+#include "analysis/LoopForest.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include "gtest/gtest.h"
+
+using namespace alive;
+using namespace alive::ir;
+using namespace alive::transform;
+
+namespace {
+
+const char *CountLoop = R"(
+define i32 @f(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %inc, %head ]
+  %inc = add i32 %i, 1
+  %c = icmp slt i32 %inc, %n
+  br i1 %c, label %head, label %exit
+exit:
+  ret i32 %inc
+}
+)";
+
+TEST(Unroll, SelfLoopFactor3) {
+  auto M = parseModuleOrDie(CountLoop);
+  Function *F = M->functionByName("f");
+  UnrollResult R = unrollLoops(*F, 3);
+  EXPECT_FALSE(R.HadIrreducible);
+  EXPECT_EQ(R.LoopsUnrolled, 1u);
+  EXPECT_EQ(R.Sinks.size(), 1u);
+  // entry + 3 head copies + exit + sink.
+  EXPECT_EQ(F->numBlocks(), 6u);
+  Diag Err;
+  EXPECT_TRUE(verifyFunction(*F, Err)) << Err.str() << printFunction(*F);
+  // No back edges remain.
+  analysis::Cfg G(*F);
+  analysis::LoopForest LF(G);
+  EXPECT_EQ(LF.numLoops(), 0u);
+  // The original header's phi lost its latch entry.
+  auto *P = dyn_cast<Phi>(F->blockByName("head")->instr(0));
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->numIncoming(), 1u);
+  // Exit-block value %inc is used by ret: it must have been merged (the
+  // exit has three predecessors now).
+  EXPECT_EQ(G.preds(F->blockByName("exit")).size(), 3u);
+}
+
+TEST(Unroll, Factor1CutsBackEdge) {
+  auto M = parseModuleOrDie(CountLoop);
+  Function *F = M->functionByName("f");
+  UnrollResult R = unrollLoops(*F, 1);
+  EXPECT_EQ(R.LoopsUnrolled, 1u);
+  // entry, head, exit, sink.
+  EXPECT_EQ(F->numBlocks(), 4u);
+  Diag Err;
+  EXPECT_TRUE(verifyFunction(*F, Err)) << Err.str() << printFunction(*F);
+  analysis::Cfg G(*F);
+  analysis::LoopForest LF(G);
+  EXPECT_EQ(LF.numLoops(), 0u);
+  // The back edge now reaches the sink.
+  const BasicBlock *Sink = *R.Sinks.begin();
+  EXPECT_EQ(G.preds(Sink).size(), 1u);
+}
+
+TEST(Unroll, MultiBlockLoopBody) {
+  auto M = parseModuleOrDie(R"(
+define i32 @f(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %inc, %latch ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %even = and i32 %i, 1
+  %isod = icmp eq i32 %even, 0
+  br i1 %isod, label %latch, label %latch
+latch:
+  %inc = add i32 %i, 1
+  br label %head
+exit:
+  ret i32 %i
+}
+)");
+  Function *F = M->functionByName("f");
+  UnrollResult R = unrollLoops(*F, 4);
+  EXPECT_EQ(R.LoopsUnrolled, 1u);
+  Diag Err;
+  ASSERT_TRUE(verifyFunction(*F, Err)) << Err.str() << printFunction(*F);
+  // 3 loop blocks x 4 copies + entry + exit + sink.
+  EXPECT_EQ(F->numBlocks(), 15u);
+}
+
+TEST(Unroll, NestedLoopsLinearGrowth) {
+  auto M = parseModuleOrDie(R"(
+define void @f(i32 %n) {
+entry:
+  br label %outer
+outer:
+  %i = phi i32 [ 0, %entry ], [ %i2, %olatch ]
+  br label %inner
+inner:
+  %j = phi i32 [ 0, %outer ], [ %j2, %inner ]
+  %j2 = add i32 %j, 1
+  %ci = icmp slt i32 %j2, %n
+  br i1 %ci, label %inner, label %olatch
+olatch:
+  %i2 = add i32 %i, 1
+  %co = icmp slt i32 %i2, %n
+  br i1 %co, label %outer, label %exit
+exit:
+  ret void
+}
+)");
+  Function *F = M->functionByName("f");
+  UnrollResult R = unrollLoops(*F, 2);
+  EXPECT_EQ(R.LoopsUnrolled, 2u);
+  EXPECT_EQ(R.Sinks.size(), 2u);
+  Diag Err;
+  ASSERT_TRUE(verifyFunction(*F, Err)) << Err.str() << printFunction(*F);
+  analysis::Cfg G(*F);
+  analysis::LoopForest LF(G);
+  EXPECT_EQ(LF.numLoops(), 0u);
+  // Inner loop unrolled to 2 blocks, then outer body (outer+2*inner+olatch)
+  // duplicated once more: growth is multiplicative in nesting depth but the
+  // number of unroll operations was 2 (linear, Section 7).
+  EXPECT_LE(F->numBlocks(), 14u);
+}
+
+TEST(Unroll, IrreducibleReported) {
+  auto M = parseModuleOrDie(R"(
+define void @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br i1 %c, label %b, label %exit
+b:
+  br i1 %c, label %a, label %exit
+exit:
+  ret void
+}
+)");
+  Function *F = M->functionByName("f");
+  UnrollResult R = unrollLoops(*F, 2);
+  EXPECT_TRUE(R.HadIrreducible);
+}
+
+TEST(Unroll, NoLoopsIsNoOp) {
+  auto M = parseModuleOrDie(R"(
+define i32 @f(i32 %a) {
+entry:
+  %x = add i32 %a, 1
+  ret i32 %x
+}
+)");
+  Function *F = M->functionByName("f");
+  std::string Before = printFunction(*F);
+  UnrollResult R = unrollLoops(*F, 8);
+  EXPECT_EQ(R.LoopsUnrolled, 0u);
+  EXPECT_EQ(printFunction(*F), Before);
+}
+
+TEST(Unroll, OutsideUseViaExistingPhi) {
+  // The exit phi merges a loop value: case (a) patching.
+  auto M = parseModuleOrDie(R"(
+define i32 @f(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %inc, %head ]
+  %inc = add i32 %i, 1
+  %c = icmp slt i32 %inc, %n
+  br i1 %c, label %head, label %exit
+exit:
+  %r = phi i32 [ %inc, %head ]
+  ret i32 %r
+}
+)");
+  Function *F = M->functionByName("f");
+  unrollLoops(*F, 3);
+  Diag Err;
+  ASSERT_TRUE(verifyFunction(*F, Err)) << Err.str() << printFunction(*F);
+  auto *P = dyn_cast<Phi>(F->blockByName("exit")->instr(0));
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->numIncoming(), 3u) << "one entry per unrolled exit edge";
+}
+
+TEST(Unroll, OutsideUseRepairedByMergeOrSlot) {
+  // %inc used by a plain instruction in the exit block (not a phi).
+  auto M = parseModuleOrDie(CountLoop);
+  Function *F = M->functionByName("f");
+  unrollLoops(*F, 2);
+  Diag Err;
+  ASSERT_TRUE(verifyFunction(*F, Err)) << Err.str() << printFunction(*F);
+  // The ret operand can no longer be the raw %inc from iteration 1.
+  const Instr *RetI = F->blockByName("exit")->terminator();
+  const Value *RetV = cast<Ret>(RetI)->value();
+  EXPECT_NE(RetV->name(), "inc");
+}
+
+TEST(Unroll, MemoryFallbackForMultiExit) {
+  // Two distinct exit blocks force the stack-slot strategy for %inc's use
+  // in the far block.
+  auto M = parseModuleOrDie(R"(
+define i32 @f(i32 %n, i1 %e) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %inc, %latch ]
+  %inc = add i32 %i, 1
+  br i1 %e, label %out1, label %latch
+latch:
+  %c = icmp slt i32 %inc, %n
+  br i1 %c, label %head, label %out2
+out1:
+  br label %join
+out2:
+  br label %join
+join:
+  %r = add i32 %inc, 10
+  ret i32 %r
+}
+)");
+  Function *F = M->functionByName("f");
+  unrollLoops(*F, 2);
+  Diag Err;
+  ASSERT_TRUE(verifyFunction(*F, Err)) << Err.str() << printFunction(*F);
+  std::string Printed = printFunction(*F);
+  EXPECT_NE(Printed.find("inc.slot"), std::string::npos)
+      << "expected a demotion slot:\n"
+      << Printed;
+  EXPECT_NE(Printed.find("inc.reload"), std::string::npos);
+}
+
+TEST(Unroll, SwitchInLoop) {
+  auto M = parseModuleOrDie(R"(
+define i32 @f(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %inc, %latch ]
+  switch i32 %i, label %latch [ 5, label %exit  7, label %latch ]
+latch:
+  %inc = add i32 %i, 1
+  %c = icmp slt i32 %inc, %n
+  br i1 %c, label %head, label %exit
+exit:
+  %r = phi i32 [ %i, %head ], [ %inc, %latch ]
+  ret i32 %r
+}
+)");
+  Function *F = M->functionByName("f");
+  unrollLoops(*F, 3);
+  Diag Err;
+  ASSERT_TRUE(verifyFunction(*F, Err)) << Err.str() << printFunction(*F);
+}
+
+} // namespace

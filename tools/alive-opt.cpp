@@ -1,0 +1,99 @@
+//===- tools/alive-opt.cpp - Optimize with per-pass validation -----------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The opt-plugin analog (Section 8.1): runs a pass pipeline over a module
+/// and validates every transformation.
+///
+///   alive-opt in.ll --passes=instcombine,dce [--tv] [--batch]
+///             [--unroll N] [--timeout SEC]
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "opt/Pass.h"
+#include "refine/Refinement.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace alive;
+
+int main(int argc, char **argv) {
+  const char *InPath = nullptr;
+  std::vector<std::string> Passes = opt::defaultPipeline();
+  bool TV = false, Batch = false, PrintResult = true;
+  refine::Options Opts;
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strncmp(argv[I], "--passes=", 9)) {
+      Passes.clear();
+      std::string List = argv[I] + 9;
+      size_t Pos = 0;
+      while (Pos < List.size()) {
+        size_t Comma = List.find(',', Pos);
+        if (Comma == std::string::npos)
+          Comma = List.size();
+        Passes.push_back(List.substr(Pos, Comma - Pos));
+        Pos = Comma + 1;
+      }
+    } else if (!std::strcmp(argv[I], "--tv")) {
+      TV = true;
+    } else if (!std::strcmp(argv[I], "--batch")) {
+      Batch = true;
+    } else if (!std::strcmp(argv[I], "--no-print")) {
+      PrintResult = false;
+    } else if (!std::strcmp(argv[I], "--unroll") && I + 1 < argc) {
+      Opts.UnrollFactor = (unsigned)std::atoi(argv[++I]);
+    } else if (!std::strcmp(argv[I], "--timeout") && I + 1 < argc) {
+      Opts.Budget.TimeoutSec = std::atof(argv[++I]);
+    } else if (!InPath) {
+      InPath = argv[I];
+    } else {
+      std::fprintf(stderr, "unexpected argument '%s'\n", argv[I]);
+      return 2;
+    }
+  }
+  if (!InPath) {
+    std::fprintf(stderr, "usage: alive-opt <in.ll> [--passes=a,b] [--tv] "
+                         "[--batch] [--unroll N] [--timeout SEC]\n");
+    return 2;
+  }
+  std::ifstream In(InPath);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", InPath);
+    return 2;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Diag Err;
+  auto M = ir::parseModule(SS.str(), Err);
+  if (!M) {
+    std::fprintf(stderr, "%s: %s\n", InPath, Err.str().c_str());
+    return 2;
+  }
+
+  int Failures = 0;
+  opt::TVHook Hook;
+  if (TV) {
+    ir::Module *MPtr = M.get();
+    Hook = [&](const ir::Function &Before, const ir::Function &After,
+               const std::string &PassName) {
+      refine::Verdict V = refine::verifyRefinement(Before, After, MPtr, Opts);
+      if (V.isCorrect())
+        return;
+      ++Failures;
+      std::printf("TV FAILURE after %s on @%s: %s [%s]\n%s\n",
+                  PassName.c_str(), Before.name().c_str(), V.kindName(),
+                  V.FailedCheck.c_str(), V.Detail.c_str());
+    };
+  }
+  opt::runPipeline(*M, Passes, Hook, Batch);
+  if (PrintResult)
+    std::printf("%s", ir::printModule(*M).c_str());
+  return Failures ? 1 : 0;
+}
