@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_unroll"
+  "../bench/bench_fig6_unroll.pdb"
+  "CMakeFiles/bench_fig6_unroll.dir/bench_fig6_unroll.cpp.o"
+  "CMakeFiles/bench_fig6_unroll.dir/bench_fig6_unroll.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_unroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec82_categories"
+  "../bench/bench_sec82_categories.pdb"
+  "CMakeFiles/bench_sec82_categories.dir/bench_sec82_categories.cpp.o"
+  "CMakeFiles/bench_sec82_categories.dir/bench_sec82_categories.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec82_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec85_knownbugs"
+  "../bench/bench_sec85_knownbugs.pdb"
+  "CMakeFiles/bench_sec85_knownbugs.dir/bench_sec85_knownbugs.cpp.o"
+  "CMakeFiles/bench_sec85_knownbugs.dir/bench_sec85_knownbugs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec85_knownbugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_smt_micro"
+  "../bench/bench_smt_micro.pdb"
+  "CMakeFiles/bench_smt_micro.dir/bench_smt_micro.cpp.o"
+  "CMakeFiles/bench_smt_micro.dir/bench_smt_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smt_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

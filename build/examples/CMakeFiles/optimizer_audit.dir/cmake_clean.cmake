@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_audit.dir/optimizer_audit.cpp.o"
+  "CMakeFiles/optimizer_audit.dir/optimizer_audit.cpp.o.d"
+  "optimizer_audit"
+  "optimizer_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

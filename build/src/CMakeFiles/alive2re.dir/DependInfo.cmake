@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Cfg.cpp" "src/CMakeFiles/alive2re.dir/analysis/Cfg.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/analysis/Cfg.cpp.o.d"
+  "/root/repo/src/analysis/Dominators.cpp" "src/CMakeFiles/alive2re.dir/analysis/Dominators.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/analysis/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/LoopForest.cpp" "src/CMakeFiles/alive2re.dir/analysis/LoopForest.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/analysis/LoopForest.cpp.o.d"
+  "/root/repo/src/corpus/Generator.cpp" "src/CMakeFiles/alive2re.dir/corpus/Generator.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/corpus/Generator.cpp.o.d"
+  "/root/repo/src/corpus/KnownBugs.cpp" "src/CMakeFiles/alive2re.dir/corpus/KnownBugs.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/corpus/KnownBugs.cpp.o.d"
+  "/root/repo/src/corpus/UnitTests.cpp" "src/CMakeFiles/alive2re.dir/corpus/UnitTests.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/corpus/UnitTests.cpp.o.d"
+  "/root/repo/src/ir/Function.cpp" "src/CMakeFiles/alive2re.dir/ir/Function.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/ir/Function.cpp.o.d"
+  "/root/repo/src/ir/Instr.cpp" "src/CMakeFiles/alive2re.dir/ir/Instr.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/ir/Instr.cpp.o.d"
+  "/root/repo/src/ir/Lexer.cpp" "src/CMakeFiles/alive2re.dir/ir/Lexer.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/ir/Lexer.cpp.o.d"
+  "/root/repo/src/ir/Parser.cpp" "src/CMakeFiles/alive2re.dir/ir/Parser.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/ir/Parser.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/CMakeFiles/alive2re.dir/ir/Printer.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/ir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Type.cpp" "src/CMakeFiles/alive2re.dir/ir/Type.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/ir/Type.cpp.o.d"
+  "/root/repo/src/ir/Value.cpp" "src/CMakeFiles/alive2re.dir/ir/Value.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/ir/Value.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/CMakeFiles/alive2re.dir/ir/Verifier.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/ir/Verifier.cpp.o.d"
+  "/root/repo/src/opt/BuggyPasses.cpp" "src/CMakeFiles/alive2re.dir/opt/BuggyPasses.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/opt/BuggyPasses.cpp.o.d"
+  "/root/repo/src/opt/InstCombine.cpp" "src/CMakeFiles/alive2re.dir/opt/InstCombine.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/opt/InstCombine.cpp.o.d"
+  "/root/repo/src/opt/Pass.cpp" "src/CMakeFiles/alive2re.dir/opt/Pass.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/opt/Pass.cpp.o.d"
+  "/root/repo/src/opt/Passes.cpp" "src/CMakeFiles/alive2re.dir/opt/Passes.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/opt/Passes.cpp.o.d"
+  "/root/repo/src/opt/Slp.cpp" "src/CMakeFiles/alive2re.dir/opt/Slp.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/opt/Slp.cpp.o.d"
+  "/root/repo/src/refine/Refinement.cpp" "src/CMakeFiles/alive2re.dir/refine/Refinement.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/refine/Refinement.cpp.o.d"
+  "/root/repo/src/sema/Encoder.cpp" "src/CMakeFiles/alive2re.dir/sema/Encoder.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/sema/Encoder.cpp.o.d"
+  "/root/repo/src/sema/Memory.cpp" "src/CMakeFiles/alive2re.dir/sema/Memory.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/sema/Memory.cpp.o.d"
+  "/root/repo/src/sema/StateValue.cpp" "src/CMakeFiles/alive2re.dir/sema/StateValue.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/sema/StateValue.cpp.o.d"
+  "/root/repo/src/smt/BitBlast.cpp" "src/CMakeFiles/alive2re.dir/smt/BitBlast.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/smt/BitBlast.cpp.o.d"
+  "/root/repo/src/smt/ExistsForall.cpp" "src/CMakeFiles/alive2re.dir/smt/ExistsForall.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/smt/ExistsForall.cpp.o.d"
+  "/root/repo/src/smt/Expr.cpp" "src/CMakeFiles/alive2re.dir/smt/Expr.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/smt/Expr.cpp.o.d"
+  "/root/repo/src/smt/Sat.cpp" "src/CMakeFiles/alive2re.dir/smt/Sat.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/smt/Sat.cpp.o.d"
+  "/root/repo/src/smt/Simplify.cpp" "src/CMakeFiles/alive2re.dir/smt/Simplify.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/smt/Simplify.cpp.o.d"
+  "/root/repo/src/smt/Solver.cpp" "src/CMakeFiles/alive2re.dir/smt/Solver.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/smt/Solver.cpp.o.d"
+  "/root/repo/src/support/BitVec.cpp" "src/CMakeFiles/alive2re.dir/support/BitVec.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/support/BitVec.cpp.o.d"
+  "/root/repo/src/support/Diag.cpp" "src/CMakeFiles/alive2re.dir/support/Diag.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/support/Diag.cpp.o.d"
+  "/root/repo/src/transform/Unroll.cpp" "src/CMakeFiles/alive2re.dir/transform/Unroll.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/transform/Unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libalive2re.a"
+)

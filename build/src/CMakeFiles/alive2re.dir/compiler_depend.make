@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for alive2re.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/existsforall_test.dir/smt/ExistsForallTest.cpp.o"
+  "CMakeFiles/existsforall_test.dir/smt/ExistsForallTest.cpp.o.d"
+  "existsforall_test"
+  "existsforall_test.pdb"
+  "existsforall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/existsforall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memrefine_test.dir/refine/MemoryRefineTest.cpp.o"
+  "CMakeFiles/memrefine_test.dir/refine/MemoryRefineTest.cpp.o.d"
+  "memrefine_test"
+  "memrefine_test.pdb"
+  "memrefine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memrefine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

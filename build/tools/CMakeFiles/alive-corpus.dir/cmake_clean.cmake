@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alive-corpus.dir/alive-corpus.cpp.o"
+  "CMakeFiles/alive-corpus.dir/alive-corpus.cpp.o.d"
+  "alive-corpus"
+  "alive-corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alive-corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alive-opt.dir/alive-opt.cpp.o"
+  "CMakeFiles/alive-opt.dir/alive-opt.cpp.o.d"
+  "alive-opt"
+  "alive-opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alive-opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alive-tv.dir/alive-tv.cpp.o"
+  "CMakeFiles/alive-tv.dir/alive-tv.cpp.o.d"
+  "alive-tv"
+  "alive-tv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alive-tv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
