@@ -15,6 +15,8 @@
 #include "corpus/Corpus.h"
 #include "ir/Parser.h"
 #include "refine/Refinement.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 
@@ -66,6 +68,44 @@ inline refine::Verdict runPair(const corpus::TestPair &P,
   const ir::Function *SF = SrcM->function(SrcM->numFunctions() - 1);
   const ir::Function *TF = TgtM->functionByName(SF->name());
   return refine::verifyRefinement(*SF, *TF, SrcM.get(), Opts);
+}
+
+/// Sum of the named distribution in a registry snapshot; 0 when absent.
+/// Benchmarks report "time.verify" sums instead of wrapping their own
+/// stopwatches around the sweep loop.
+inline double distSum(const stats::Snapshot &S, const std::string &Name) {
+  return S.dist(Name).Sum;
+}
+
+/// Writes a registry snapshot as a JSON document (counters as integers,
+/// distributions as {count,sum,min,max} objects). \returns false when the
+/// file cannot be opened.
+inline bool writeStatsJson(const char *Path, const stats::Snapshot &S,
+                           const std::string &Note = "") {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F)
+    return false;
+  std::fprintf(F, "{\n  \"note\": \"%s\",\n  \"counters\": {",
+               trace::jsonEscape(Note).c_str());
+  bool First = true;
+  for (const auto &[Name, V] : S.Counters) {
+    std::fprintf(F, "%s\n    \"%s\": %llu", First ? "" : ",",
+                 trace::jsonEscape(Name).c_str(), (unsigned long long)V);
+    First = false;
+  }
+  std::fprintf(F, "\n  },\n  \"distributions\": {");
+  First = true;
+  for (const auto &[Name, D] : S.Dists) {
+    std::fprintf(F,
+                 "%s\n    \"%s\": {\"count\": %llu, \"sum\": %.9g, "
+                 "\"min\": %.9g, \"max\": %.9g}",
+                 First ? "" : ",", trace::jsonEscape(Name).c_str(),
+                 (unsigned long long)D.Count, D.Sum, D.Min, D.Max);
+    First = false;
+  }
+  std::fprintf(F, "\n  }\n}\n");
+  std::fclose(F);
+  return true;
 }
 
 } // namespace alive::bench

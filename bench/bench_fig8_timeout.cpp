@@ -23,20 +23,30 @@ int main() {
   std::printf("# Figure 8: effect of the solver timeout (corpus: %zu "
               "pairs, unroll 8)\n",
               Suite.size());
-  std::printf("%-12s %-10s %-12s %-10s %-8s\n", "timeout(s)", "correct",
-              "incorrect", "other", "time(s)");
+  std::printf("%-12s %-10s %-12s %-10s %-10s %-10s %-8s\n", "timeout(s)",
+              "correct", "incorrect", "other", "queries", "conflicts",
+              "time(s)");
   for (double Sec : {0.05, 0.2, 0.5, 1.0, 3.0, 10.0}) {
     refine::Options Opts;
     Opts.UnrollFactor = 8;
     Opts.Budget.TimeoutSec = Sec;
     Tally T;
-    Stopwatch Timer;
+    // Per-sweep numbers come from the stats registry, not an ad-hoc
+    // stopwatch: reset, run, snapshot.
+    stats::Registry::get().reset();
     for (const auto &P : Suite)
       T.add(runPair(P, Opts));
-    std::printf("%-12.2f %-10u %-12u %-10u %-8.1f\n", Sec, T.Valid,
-                T.Violations, T.total() - T.Valid - T.Violations,
-                Timer.seconds());
+    stats::Snapshot S = stats::Registry::get().snapshot();
+    std::printf("%-12.2f %-10u %-12u %-10u %-10llu %-10llu %-8.1f\n", Sec,
+                T.Valid, T.Violations, T.total() - T.Valid - T.Violations,
+                (unsigned long long)S.counter("refine.queries"),
+                (unsigned long long)S.counter("sat.conflicts"),
+                distSum(S, "time.verify"));
   }
+  const char *Out = "BENCH_observability.json";
+  if (writeStatsJson(Out, stats::Registry::get().snapshot(),
+                     "fig8 timeout sweep, final (10s) budget, unroll 8"))
+    std::printf("\nwrote %s (registry snapshot of the final sweep)\n", Out);
   std::printf("\n(paper shape: definitive verdicts plateau past a knee; "
               "runtime keeps rising with the budget)\n");
   return 0;

@@ -211,4 +211,13 @@ bench-objs/CMakeFiles/bench_fig6_unroll.dir/bench_fig6_unroll.cpp.o: \
  /root/repo/src/support/Diag.h /root/repo/src/refine/Refinement.h \
  /root/repo/src/smt/Solver.h /root/repo/src/smt/BitBlast.h \
  /root/repo/src/smt/Expr.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/smt/Sat.h
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/smt/Sat.h \
+ /root/repo/src/support/Stats.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/support/Trace.h

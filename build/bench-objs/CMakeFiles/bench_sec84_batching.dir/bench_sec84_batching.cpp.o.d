@@ -212,6 +212,15 @@ bench-objs/CMakeFiles/bench_sec84_batching.dir/bench_sec84_batching.cpp.o: \
  /root/repo/src/smt/Solver.h /root/repo/src/smt/BitBlast.h \
  /root/repo/src/smt/Expr.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/smt/Sat.h \
+ /root/repo/src/support/Stats.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/support/Trace.h \
  /root/repo/src/opt/Pass.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \

@@ -39,6 +39,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/smt/Solver.cpp" "src/CMakeFiles/alive2re.dir/smt/Solver.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/smt/Solver.cpp.o.d"
   "/root/repo/src/support/BitVec.cpp" "src/CMakeFiles/alive2re.dir/support/BitVec.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/support/BitVec.cpp.o.d"
   "/root/repo/src/support/Diag.cpp" "src/CMakeFiles/alive2re.dir/support/Diag.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/support/Diag.cpp.o.d"
+  "/root/repo/src/support/Stats.cpp" "src/CMakeFiles/alive2re.dir/support/Stats.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/support/Stats.cpp.o.d"
+  "/root/repo/src/support/Trace.cpp" "src/CMakeFiles/alive2re.dir/support/Trace.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/support/Trace.cpp.o.d"
   "/root/repo/src/transform/Unroll.cpp" "src/CMakeFiles/alive2re.dir/transform/Unroll.cpp.o" "gcc" "src/CMakeFiles/alive2re.dir/transform/Unroll.cpp.o.d"
   )
 

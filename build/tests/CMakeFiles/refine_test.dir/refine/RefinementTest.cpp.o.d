@@ -211,8 +211,8 @@ tests/CMakeFiles/refine_test.dir/refine/RefinementTest.cpp.o: \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/smt/Sat.h \
  /root/repo/src/support/Diag.h /root/repo/src/ir/Parser.h \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/limits \
+ /root/repo/src/support/Trace.h /root/miniconda/include/gtest/gtest.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

@@ -5,6 +5,7 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/bitvec_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
 include("/root/repo/build/tests/expr_test[1]_include.cmake")
 include("/root/repo/build/tests/sat_test[1]_include.cmake")
 include("/root/repo/build/tests/bitblast_test[1]_include.cmake")
@@ -20,10 +21,10 @@ include("/root/repo/build/tests/corpus_test[1]_include.cmake")
 include("/root/repo/build/tests/memrefine_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
 add_test(tool.alive-tv.correct "/root/repo/build/tools/alive-tv" "/root/repo/tests/inputs/src_ok.ll" "/root/repo/tests/inputs/tgt_ok.ll" "--timeout" "30")
-set_tests_properties(tool.alive-tv.correct PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;26;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(tool.alive-tv.correct PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;27;add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(tool.alive-tv.incorrect "/root/repo/build/tools/alive-tv" "/root/repo/tests/inputs/src_ok.ll" "/root/repo/tests/inputs/tgt_bad.ll" "--timeout" "30")
-set_tests_properties(tool.alive-tv.incorrect PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;29;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(tool.alive-tv.incorrect PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;30;add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(tool.alive-opt.tv "/root/repo/build/tools/alive-opt" "/root/repo/tests/inputs/opt_input.ll" "--tv" "--no-print" "--timeout" "30")
-set_tests_properties(tool.alive-opt.tv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;33;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(tool.alive-opt.tv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;34;add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(tool.alive-corpus.smoke "/root/repo/build/tools/alive-corpus" "--unroll" "4" "--timeout" "10")
-set_tests_properties(tool.alive-corpus.smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;36;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(tool.alive-corpus.smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;37;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -9,6 +9,8 @@
 #include "ir/Verifier.h"
 #include "sema/Encoder.h"
 #include "smt/ExistsForall.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
 #include "transform/Unroll.h"
 
 #include <cctype>
@@ -112,6 +114,8 @@ private:
   Expr PhiBase = mkTrue();
   std::vector<EFQuery::Seed> Seeds;
   unsigned Queries = 0;
+  /// One record per query run so far; moved into the Verdict.
+  std::vector<QueryStats> QStats;
 
   Verdict verdict(VerdictKind K, std::string Check = "",
                   std::string Detail = "") {
@@ -121,7 +125,28 @@ private:
     V.Detail = std::move(Detail);
     V.Seconds = Timer.seconds();
     V.QueriesRun = Queries;
+    V.Queries = std::move(QStats);
     return V;
+  }
+
+  /// Appends one per-query cost record and mirrors it as a "query" trace
+  /// event. Called exactly once per ++Queries so QueriesRun, the Queries
+  /// vector and the trace stay in lockstep.
+  void recordQuery(QueryStats QS) {
+    if (trace::enabled())
+      trace::Event("query")
+          .str("check", QS.Check)
+          .str("result", QS.Result)
+          .num("seconds", QS.Seconds)
+          .num("solver_seconds", QS.SolverSeconds)
+          .num("sat_checks", QS.SatChecks)
+          .num("ef_iterations", QS.EFIterations)
+          .num("conflicts", QS.Conflicts)
+          .num("decisions", QS.Decisions)
+          .num("propagations", QS.Propagations)
+          .num("clauses", QS.Clauses);
+    stats::addSample("time.query", QS.Seconds);
+    QStats.push_back(std::move(QS));
   }
 
   /// Runs one EF query; classifies its result. \returns empty optional when
@@ -135,6 +160,11 @@ std::optional<Verdict>
 RefinementCheck::runQuery(const std::string &CheckName,
                           std::vector<Expr> ExtraOuter, Expr ExtraPhi) {
   ++Queries;
+  ALIVE_STAT_COUNTER(QueryCount, "refine.queries");
+  QueryCount.inc();
+  Stopwatch QTimer;
+  QueryStats QS;
+  QS.Check = CheckName;
   if (debugEnabled())
     fprintf(stderr, "[refine] query: %s\n", CheckName.c_str());
   EFQuery Q;
@@ -156,13 +186,29 @@ RefinementCheck::runQuery(const std::string &CheckName,
 
   SolverBudget B = Opts.Budget;
   double Remaining = B.TimeoutSec - Timer.seconds();
-  if (Remaining <= 0)
+  if (Remaining <= 0) {
+    QS.Result = "budget-exhausted";
+    QS.Seconds = QTimer.seconds();
+    recordQuery(std::move(QS));
     return verdict(VerdictKind::Timeout, CheckName, "query budget exhausted");
+  }
   B.TimeoutSec = Remaining;
 
   EFOutcome R = solveExistsForall(Q, B);
   if (debugEnabled())
     fprintf(stderr, "[refine] query returned res=%d\n", (int)R.Res);
+  QS.Result = R.Res == SatResult::Unsat  ? "unsat"
+              : R.Res == SatResult::Sat  ? "sat"
+                                         : "unknown";
+  QS.Seconds = QTimer.seconds();
+  QS.SolverSeconds = R.Cost.Seconds;
+  QS.SatChecks = R.Cost.Checks;
+  QS.EFIterations = R.Iterations;
+  QS.Conflicts = R.Cost.Conflicts;
+  QS.Decisions = R.Cost.Decisions;
+  QS.Propagations = R.Cost.Propagations;
+  QS.Clauses = R.Cost.Clauses;
+  recordQuery(std::move(QS));
   switch (R.Res) {
   case SatResult::Unsat:
     return std::nullopt; // this check passes
@@ -201,8 +247,18 @@ Verdict RefinementCheck::run() {
   // Bounded unrolling (Section 7).
   SrcU = SrcF.clone();
   TgtU = TgtF.clone();
+  Stopwatch UnrollTimer;
   auto SrcUnroll = transform::unrollLoops(*SrcU, Opts.UnrollFactor);
   auto TgtUnroll = transform::unrollLoops(*TgtU, Opts.UnrollFactor);
+  if (trace::enabled())
+    trace::Event("unroll")
+        .str("function", SrcF.name())
+        .num("factor", Opts.UnrollFactor)
+        .num("seconds", UnrollTimer.seconds())
+        .num("src_sinks", SrcUnroll.Sinks.size())
+        .num("tgt_sinks", TgtUnroll.Sinks.size())
+        .flag("irreducible",
+              SrcUnroll.HadIrreducible || TgtUnroll.HadIrreducible);
   if (SrcUnroll.HadIrreducible || TgtUnroll.HadIrreducible)
     return verdict(VerdictKind::Unsupported, "loops",
                    "irreducible control flow");
@@ -213,9 +269,18 @@ Verdict RefinementCheck::run() {
   EncodeOptions SO{"src", Opts.EquivalenceMode};
   EncodeOptions SIO{"srcI", Opts.EquivalenceMode};
   EncodeOptions TO{"tgt", Opts.EquivalenceMode};
+  Stopwatch EncodeTimer;
   Src = encodeFunction(*SrcU, *Layout, SrcUnroll.Sinks, SO);
   SrcI = encodeFunction(*SrcU, *Layout, SrcUnroll.Sinks, SIO);
   Tgt = encodeFunction(*TgtU, *Layout, TgtUnroll.Sinks, TO);
+  if (trace::enabled())
+    trace::Event("encode")
+        .str("function", SrcF.name())
+        .num("seconds", EncodeTimer.seconds())
+        .num("encodings", 3)
+        .flag("approx", !Src.ApproxFnNames.empty() ||
+                            !SrcI.ApproxFnNames.empty() ||
+                            !Tgt.ApproxFnNames.empty());
 
   // Premise (Section 5.2 final formula): the target executes within bounds
   // under both preconditions; the source-side premise uses its own
@@ -282,11 +347,25 @@ Verdict RefinementCheck::run() {
     if (debugEnabled())
       fprintf(stderr, "[refine] step1 precondition check\n");
     ++Queries;
+    ALIVE_STAT_COUNTER(QueryCount, "refine.queries");
+    QueryCount.inc();
+    Stopwatch QTimer;
     Solver S;
     for (Expr E : OuterBase)
       S.add(E);
     SolverBudget B = Opts.Budget;
     SolveOutcome R = S.check(B);
+    QueryStats QS;
+    QS.Check = "precondition";
+    QS.Result = R.isUnsat() ? "unsat" : R.isSat() ? "sat" : "unknown";
+    QS.Seconds = QTimer.seconds();
+    QS.SolverSeconds = R.Stats.Seconds;
+    QS.SatChecks = R.Stats.Checks;
+    QS.Conflicts = R.Stats.Conflicts;
+    QS.Decisions = R.Stats.Decisions;
+    QS.Propagations = R.Stats.Propagations;
+    QS.Clauses = R.Stats.Clauses;
+    recordQuery(std::move(QS));
     if (R.isUnsat())
       return verdict(VerdictKind::PreconditionFalse, "precondition",
                      "the combined preconditions are unsatisfiable");
@@ -421,8 +500,19 @@ Verdict RefinementCheck::run() {
 
 Verdict refine::verifyRefinement(const Function &Src, const Function &Tgt,
                                  const Module *M, const Options &Opts) {
+  ALIVE_STAT_COUNTER(Pairs, "refine.pairs");
+  Pairs.inc();
+  stats::ScopedTimer Timer("time.verify");
   RefinementCheck C(Src, Tgt, M, Opts);
-  return C.run();
+  Verdict V = C.run();
+  if (trace::enabled())
+    trace::Event("verdict")
+        .str("function", Src.name())
+        .str("kind", V.kindName())
+        .str("failed_check", V.FailedCheck)
+        .num("seconds", V.Seconds)
+        .num("queries_run", V.QueriesRun);
+  return V;
 }
 
 std::vector<std::pair<std::string, Verdict>>

@@ -22,6 +22,7 @@
 #include "smt/Solver.h"
 
 #include <string>
+#include <vector>
 
 namespace alive::refine {
 
@@ -53,6 +54,33 @@ enum class VerdictKind {
   Failed,            ///< malformed input / signature mismatch
 };
 
+/// Cost record for one staged refinement query (Section 5.3). One of these
+/// is appended to Verdict::Queries for every query the check runs — the
+/// step-1 precondition check included — so QueriesRun always equals
+/// Queries.size().
+struct QueryStats {
+  /// Staged check name ("precondition", "target is more undefined than
+  /// source", ...).
+  std::string Check;
+  /// Raw solver result for this query: "unsat" (the check passed, or for
+  /// the precondition check: vacuously false), "sat", "unknown", or
+  /// "budget-exhausted" when the per-pair budget ran out before solving.
+  std::string Result;
+  /// Wall time of the whole staged query.
+  double Seconds = 0;
+  /// Wall time inside SatSolver::solve across all checks of the query.
+  double SolverSeconds = 0;
+  /// Number of SAT checks the query issued (outer + inner CEGIS checks).
+  unsigned SatChecks = 0;
+  /// CEGIS refinement rounds (0 for the plain step-1 check).
+  unsigned EFIterations = 0;
+  uint64_t Conflicts = 0;
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+  /// Peak clause-database size over the query's checks.
+  size_t Clauses = 0;
+};
+
 struct Verdict {
   VerdictKind Kind = VerdictKind::Failed;
   /// Which staged check produced the verdict (e.g. "target is more
@@ -62,6 +90,8 @@ struct Verdict {
   std::string Detail;
   double Seconds = 0;
   unsigned QueriesRun = 0;
+  /// Per-staged-query cost, in execution order (observability tentpole).
+  std::vector<QueryStats> Queries;
 
   bool isCorrect() const { return Kind == VerdictKind::Correct; }
   bool isIncorrect() const { return Kind == VerdictKind::Incorrect; }

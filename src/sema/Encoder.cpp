@@ -6,6 +6,7 @@
 
 #include "sema/Encoder.h"
 #include "analysis/Cfg.h"
+#include "support/Stats.h"
 
 #include <cassert>
 #include <map>
@@ -133,9 +134,13 @@ private:
   void addUB(Expr DomE, Expr Cond) {
     if (Opts.IgnoreUB)
       return;
+    ALIVE_STAT_COUNTER(UbConds, "encode.ub_conditions");
+    UbConds.inc();
     Out.UB = mkOr(Out.UB, mkAnd(DomE, Cond));
   }
   void markApprox(const std::string &FnName, const std::string &Note) {
+    ALIVE_STAT_COUNTER(Approx, "encode.approx_marks");
+    Approx.inc();
     Out.ApproxFnNames.insert(FnName);
     Out.ApproxNotes.push_back(Note);
   }
@@ -1180,6 +1185,8 @@ void Encoder::encodeBlock(const BasicBlock *BB, const analysis::Cfg &G) {
 
   for (const auto &IP : *BB) {
     const Instr *I = IP.get();
+    ALIVE_STAT_COUNTER(Instrs, "encode.instructions");
+    Instrs.inc();
     switch (I->kind()) {
     case ValueKind::Phi: {
       const auto *P = cast<Phi>(I);
@@ -1336,6 +1343,9 @@ FunctionEncoding
 sema::encodeFunction(const Function &F, const MemoryLayout &L,
                      const std::unordered_set<const BasicBlock *> &Sinks,
                      const EncodeOptions &Opts) {
+  ALIVE_STAT_COUNTER(Functions, "encode.functions");
+  Functions.inc();
+  stats::ScopedTimer Timer("time.encode");
   Encoder E(F, L, Sinks, Opts);
   return E.run();
 }

@@ -16,9 +16,13 @@ BitBlaster::BitBlaster(SatSolver &Solver) : S(Solver) {
   S.addClause(TrueLit);
 }
 
-Lit BitBlaster::fresh() { return mkLit(S.newVar()); }
+Lit BitBlaster::fresh() {
+  ++FreshVars;
+  return mkLit(S.newVar());
+}
 
 void BitBlaster::clause(std::vector<Lit> Lits) {
+  ++ClausesEmitted;
   EmittedLiterals += Lits.size();
   if (EmittedLiterals > LiteralBudget) {
     OverBudget = true;
@@ -248,8 +252,10 @@ void BitBlaster::assertTrue(Expr E) {
 Lit BitBlaster::blastBool(Expr E) {
   assert(E.isBool() && "blastBool on a bit-vector");
   auto It = BoolCache.find(E.id());
-  if (It != BoolCache.end())
+  if (It != BoolCache.end()) {
+    ++CacheHits;
     return It->second;
+  }
   const Node &N = E.node();
   Lit R;
   switch (N.K) {
@@ -313,8 +319,10 @@ Lit BitBlaster::blastBool(Expr E) {
 const std::vector<Lit> &BitBlaster::blastBV(Expr E) {
   assert(!E.isBool() && "blastBV on a Bool");
   auto It = BVCache.find(E.id());
-  if (It != BVCache.end())
+  if (It != BVCache.end()) {
+    ++CacheHits;
     return It->second;
+  }
   const Node &N = E.node();
   std::vector<Lit> R;
   auto bv = [this](ExprId Id) -> const std::vector<Lit> & {

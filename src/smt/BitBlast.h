@@ -51,6 +51,13 @@ public:
   bool overBudget() const { return OverBudget; }
   void setLiteralBudget(size_t Budget) { LiteralBudget = Budget; }
 
+  /// CNF-size telemetry (cumulative since construction; the Solver facade
+  /// flushes deltas into the stats registry per check).
+  uint64_t numCacheHits() const { return CacheHits; }
+  uint64_t numFreshVars() const { return FreshVars; }
+  uint64_t numClausesEmitted() const { return ClausesEmitted; }
+  size_t numEmittedLiterals() const { return EmittedLiterals; }
+
 private:
   SatSolver &S;
   std::unordered_map<ExprId, Lit> BoolCache;
@@ -60,6 +67,7 @@ private:
   bool OverBudget = false;
   size_t LiteralBudget = ~size_t(0);
   size_t EmittedLiterals = 0;
+  uint64_t CacheHits = 0, FreshVars = 0, ClausesEmitted = 0;
 
   Lit falseLit() const { return negLit(TrueLit); }
   Lit fresh();

@@ -7,6 +7,8 @@
 #include "smt/ExistsForall.h"
 
 #include "support/Diag.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -336,6 +338,33 @@ EFOutcome smt::solveExistsForall(const EFQuery &Query,
                                  const SolverBudget &Budget) {
   EFOutcome Out;
   Stopwatch Timer;
+  ALIVE_STAT_COUNTER(Queries, "ef.queries");
+  Queries.inc();
+
+  // Emits the query's summary on every exit path.
+  struct TraceEmitter {
+    EFOutcome &Out;
+    Stopwatch &Timer;
+    ~TraceEmitter() {
+      stats::addSample("time.ef_query", Timer.seconds());
+      if (!trace::enabled())
+        return;
+      const char *Result = Out.Res == SatResult::Sat     ? "sat"
+                           : Out.Res == SatResult::Unsat ? "unsat"
+                                                         : "unknown";
+      trace::Event("ef_query")
+          .str("result", Result)
+          .num("iterations", Out.Iterations)
+          .num("seconds", Timer.seconds())
+          .num("solver_seconds", Out.Cost.Seconds)
+          .num("sat_checks", Out.Cost.Checks)
+          .num("conflicts", Out.Cost.Conflicts)
+          .num("decisions", Out.Cost.Decisions)
+          .num("propagations", Out.Cost.Propagations)
+          .num("clauses", Out.Cost.Clauses)
+          .flag("approx_involved", Out.ApproxInvolved);
+    }
+  } Emitter{Out, Timer};
 
   std::vector<Expr> Outer = Query.Outer;
   Expr Phi = Query.Inner;
@@ -375,6 +404,8 @@ EFOutcome smt::solveExistsForall(const EFQuery &Query,
     Expr Inst = substitute(Phi, S.VarMap);
     Inst = renameApps(Inst, S.AppRenames);
     if (mentionsAnyVar(Inst, InnerVars)) {
+      ALIVE_STAT_COUNTER(SeedsSkipped, "ef.seeds_skipped");
+      SeedsSkipped.inc();
       if (debugEnabled())
         fprintf(stderr, "[ef] seed skipped (inner vars remain)\n");
       continue; // partial instantiation would be unsound; skip
@@ -386,8 +417,13 @@ EFOutcome smt::solveExistsForall(const EFQuery &Query,
       for (const std::string &P : Query.InnerAppPrefixes)
         InnerAppLeft |=
             ExprCtx::get().node(A).Name.rfind(P, 0) == 0;
-    if (InnerAppLeft)
+    if (InnerAppLeft) {
+      ALIVE_STAT_COUNTER(SeedsSkipped, "ef.seeds_skipped");
+      SeedsSkipped.inc();
       continue;
+    }
+    ALIVE_STAT_COUNTER(SeedsAccepted, "ef.seeds_accepted");
+    SeedsAccepted.inc();
     if (debugEnabled())
       fprintf(stderr, "[ef] seed accepted, inst=%s\n",
               toString(Inst).substr(0, 160).c_str());
@@ -420,6 +456,8 @@ EFOutcome smt::solveExistsForall(const EFQuery &Query,
     size_t NextBlocking = 0;
     for (unsigned Iter = 0; Iter < MaxIterations; ++Iter) {
       ++Out.Iterations;
+      ALIVE_STAT_COUNTER(Iterations, "ef.iterations");
+      Iterations.inc();
       // Pick up instantiations discovered by earlier phases.
       for (; NextBlocking < InstBlockings.size(); ++NextBlocking)
         OuterSolver.add(InstBlockings[NextBlocking]);
@@ -435,6 +473,7 @@ EFOutcome smt::solveExistsForall(const EFQuery &Query,
       if (debugEnabled())
         fprintf(stderr, "[ef] iter=%u outer check...\n", Out.Iterations);
       SolveOutcome OuterRes = OuterSolver.check(SubBudget);
+      Out.Cost.add(OuterRes.Stats);
       if (debugEnabled())
         fprintf(stderr, "[ef] iter=%u outer done res=%d\n", Out.Iterations,
                 (int)OuterRes.Res);
@@ -474,6 +513,7 @@ EFOutcome smt::solveExistsForall(const EFQuery &Query,
           fprintf(stderr, "[ef] iter=%u inner check dag=%zu...\n",
                   Out.Iterations, dagSize(PhiInst));
         SolveOutcome InnerRes = checkSat(PhiInst, SubBudget);
+        Out.Cost.add(InnerRes.Stats);
         if (InnerRes.isUnknown()) {
           Out.Res = SatResult::Unknown;
           Out.UnknownReason = InnerRes.UnknownReason;

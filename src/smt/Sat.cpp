@@ -6,6 +6,8 @@
 
 #include "smt/Sat.h"
 
+#include "support/Stats.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -363,6 +365,35 @@ uint64_t SatSolver::lubySequence(uint64_t I) {
 }
 
 SatStatus SatSolver::solve(const SatLimits &Limits) {
+  // Flush this solve's effort deltas into the global registry on every exit
+  // path. The search loop itself only touches plain members.
+  struct StatFlusher {
+    SatSolver &S;
+    uint64_t C0 = S.Conflicts, D0 = S.Decisions, P0 = S.Propagations;
+    uint64_t R0 = S.Restarts, L0 = S.LearnedClauses, Red0 = S.DbReductions;
+    ~StatFlusher() {
+      // One static aggregate = one thread-safe-static guard per solve
+      // instead of seven.
+      struct Handles {
+        stats::Counter Solves = stats::counter("sat.solves");
+        stats::Counter Conflicts = stats::counter("sat.conflicts");
+        stats::Counter Decisions = stats::counter("sat.decisions");
+        stats::Counter Propagations = stats::counter("sat.propagations");
+        stats::Counter Restarts = stats::counter("sat.restarts");
+        stats::Counter Learned = stats::counter("sat.learned_clauses");
+        stats::Counter Reductions = stats::counter("sat.db_reductions");
+      };
+      static Handles H;
+      H.Solves.inc();
+      H.Conflicts.inc(S.Conflicts - C0);
+      H.Decisions.inc(S.Decisions - D0);
+      H.Propagations.inc(S.Propagations - P0);
+      H.Restarts.inc(S.Restarts - R0);
+      H.Learned.inc(S.LearnedClauses - L0);
+      H.Reductions.inc(S.DbReductions - Red0);
+    }
+  } Flusher{*this};
+
   if (Unsat)
     return SatStatus::Unsat;
   if (TotalLiterals > Limits.MaxLiterals) {
@@ -403,6 +434,7 @@ SatStatus SatSolver::solve(const SatLimits &Limits) {
         CRef Ref = attachClause(Learnt, /*Learned=*/true, Lbd);
         enqueue(Learnt[0], Ref);
       }
+      ++LearnedClauses;
       decayActivities();
 
       if ((Conflicts & 255) == 0) {
@@ -421,6 +453,7 @@ SatStatus SatSolver::solve(const SatLimits &Limits) {
       }
       if (Conflicts > NextReduce) {
         reduceDB();
+        ++DbReductions;
         NextReduce = Conflicts + 4000 + 300 * RestartCount;
       }
       continue;
@@ -429,6 +462,7 @@ SatStatus SatSolver::solve(const SatLimits &Limits) {
     if (ConflictsThisRestart >= RestartBudget) {
       ConflictsThisRestart = 0;
       RestartBudget = 64 * lubySequence(++RestartCount);
+      ++Restarts;
       backtrack(0);
       continue;
     }

@@ -79,6 +79,9 @@ public:
   uint64_t numConflicts() const { return Conflicts; }
   uint64_t numDecisions() const { return Decisions; }
   uint64_t numPropagations() const { return Propagations; }
+  uint64_t numRestarts() const { return Restarts; }
+  uint64_t numLearnedClauses() const { return LearnedClauses; }
+  uint64_t numDbReductions() const { return DbReductions; }
   size_t numClauses() const;
 
 private:
@@ -120,6 +123,7 @@ private:
   std::vector<int> HeapPos; // var -> position in Heap or -1
 
   uint64_t Conflicts = 0, Decisions = 0, Propagations = 0;
+  uint64_t Restarts = 0, LearnedClauses = 0, DbReductions = 0;
   std::vector<uint8_t> SeenBuf;
   std::vector<int> ToClear;
 

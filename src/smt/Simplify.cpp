@@ -6,6 +6,8 @@
 
 #include "smt/Simplify.h"
 
+#include "support/Stats.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -13,6 +15,7 @@
 
 using namespace alive;
 using namespace alive::smt;
+using alive::smt::detail::fold;
 
 namespace {
 
@@ -130,7 +133,10 @@ bool foldAllConst(const Node &N, Expr &Out) {
 
 } // namespace
 
-Expr smt::detail::fold(Node N) {
+/// Applies the rewrite rules to \p N. \returns the rewritten expression,
+/// or an invalid Expr when no rule fired (the caller interns N as-is; the
+/// split lets fold() count fired rewrites at a single point).
+static Expr foldRules(Node &N) {
   // Leaves are interned directly by their factories; operators arrive here.
   Expr Folded;
   if (N.K != Kind::App && foldAllConst(N, Folded))
@@ -455,5 +461,14 @@ Expr smt::detail::fold(Node N) {
   if (isCommutative(N.K) && N.Ops.size() == 2 && N.Ops[0] > N.Ops[1])
     std::swap(N.Ops[0], N.Ops[1]);
 
+  return Expr();
+}
+
+Expr smt::detail::fold(Node N) {
+  if (Expr R = foldRules(N); R.isValid()) {
+    ALIVE_STAT_COUNTER(Rewrites, "simplify.rewrites");
+    Rewrites.inc();
+    return R;
+  }
   return intern(std::move(N));
 }

@@ -6,6 +6,9 @@
 
 #include "smt/Solver.h"
 
+#include "support/Stats.h"
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -60,8 +63,11 @@ Expr Solver::ackermannize(Expr E) {
       for (size_t I = 0; I < Args.size(); ++I)
         ArgsEq = mkAnd(ArgsEq, mkEq(Prev.Args[I], Args[I]));
       Expr Axiom = mkImplies(ArgsEq, mkEq(Prev.ResultVar, ResVar));
-      if (!Axiom.isTrue())
+      if (!Axiom.isTrue()) {
+        ALIVE_STAT_COUNTER(AckAxioms, "solver.ack_axioms");
+        AckAxioms.inc();
         Blaster->assertTrue(Axiom);
+      }
     }
     AckApps[N.Name].push_back(std::move(Entry));
     AckCache[AppId] = ResVar;
@@ -85,28 +91,85 @@ void Solver::add(Expr E) {
   Blaster->assertTrue(Rewritten);
 }
 
+/// Flushes bit-blaster telemetry accumulated since the last check into the
+/// global registry (delta-based so the CNF-building hot path stays free of
+/// atomics).
+void Solver::flushBlastStats() {
+  struct Handles {
+    stats::Counter Clauses = stats::counter("bitblast.clauses");
+    stats::Counter Vars = stats::counter("bitblast.vars");
+    stats::Counter Hits = stats::counter("bitblast.cache_hits");
+  };
+  static Handles H;
+  H.Clauses.inc(Blaster->numClausesEmitted() - SeenBlastClauses);
+  H.Vars.inc(Blaster->numFreshVars() - SeenBlastVars);
+  H.Hits.inc(Blaster->numCacheHits() - SeenBlastHits);
+  SeenBlastClauses = Blaster->numClausesEmitted();
+  SeenBlastVars = Blaster->numFreshVars();
+  SeenBlastHits = Blaster->numCacheHits();
+}
+
 SolveOutcome Solver::check(const SolverBudget &Budget) {
+  ALIVE_STAT_COUNTER(Checks, "solver.checks");
+  Checks.inc();
+  flushBlastStats();
+
   SolveOutcome Out;
+  auto finish = [&](const char *Result) {
+    if (Out.Stats.Checks) {
+      ALIVE_STAT_SAMPLER(CheckTime, "time.sat_check");
+      CheckTime.record(Out.Stats.Seconds);
+    }
+    if (trace::enabled())
+      trace::Event("sat_check")
+          .str("result", Result)
+          .num("seconds", Out.Stats.Seconds)
+          .num("conflicts", Out.Stats.Conflicts)
+          .num("decisions", Out.Stats.Decisions)
+          .num("propagations", Out.Stats.Propagations)
+          .num("restarts", Out.Stats.Restarts)
+          .num("clauses", Out.Stats.Clauses)
+          .num("vars", Out.Stats.CnfVars);
+  };
+
   if (TriviallyUnsat) {
     Out.Res = SatResult::Unsat;
+    finish("unsat");
     return Out;
   }
   if (Blaster->overBudget()) {
     Out.Res = SatResult::Unknown;
     Out.UnknownReason = "memory";
+    finish("unknown");
     return Out;
   }
   SatLimits Limits;
   Limits.TimeoutSec = Budget.TimeoutSec;
   Limits.MaxLiterals = Budget.MaxLiterals;
   Limits.MaxConflicts = Budget.MaxConflicts;
-  switch (Sat->solve(Limits)) {
+
+  uint64_t C0 = Sat->numConflicts(), D0 = Sat->numDecisions();
+  uint64_t P0 = Sat->numPropagations(), R0 = Sat->numRestarts();
+  Stopwatch Timer;
+  SatStatus St = Sat->solve(Limits);
+  Out.Stats.Seconds = Timer.seconds();
+  Out.Stats.Checks = 1;
+  Out.Stats.Conflicts = Sat->numConflicts() - C0;
+  Out.Stats.Decisions = Sat->numDecisions() - D0;
+  Out.Stats.Propagations = Sat->numPropagations() - P0;
+  Out.Stats.Restarts = Sat->numRestarts() - R0;
+  Out.Stats.Clauses = Sat->numClauses();
+  Out.Stats.CnfVars = (size_t)Sat->numVars();
+
+  switch (St) {
   case SatStatus::Unsat:
     Out.Res = SatResult::Unsat;
+    finish("unsat");
     return Out;
   case SatStatus::Unknown:
     Out.Res = SatResult::Unknown;
     Out.UnknownReason = Sat->unknownReason();
+    finish("unknown");
     return Out;
   case SatStatus::Sat:
     break;
@@ -114,6 +177,7 @@ SolveOutcome Solver::check(const SolverBudget &Budget) {
   Out.Res = SatResult::Sat;
   for (ExprId VarId : SeenVars)
     Out.M.set(VarId, Blaster->readVar(Expr(VarId)));
+  finish("sat");
   return Out;
 }
 

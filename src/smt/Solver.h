@@ -36,12 +36,44 @@ struct SolverBudget {
   uint64_t MaxConflicts = ~uint64_t(0);
 };
 
+/// Aggregated solver effort over one or more satisfiability checks. Every
+/// check() fills one of these; the exists-forall engine and the refinement
+/// layer accumulate them so callers see per-query cost without reaching
+/// into solver internals.
+struct SolveStats {
+  /// Wall time spent inside SatSolver::solve.
+  double Seconds = 0;
+  /// Number of solve() calls aggregated here.
+  unsigned Checks = 0;
+  uint64_t Conflicts = 0;
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+  uint64_t Restarts = 0;
+  /// Peak clause-database size over the aggregated checks.
+  size_t Clauses = 0;
+  /// Peak CNF variable count over the aggregated checks.
+  size_t CnfVars = 0;
+
+  void add(const SolveStats &O) {
+    Seconds += O.Seconds;
+    Checks += O.Checks;
+    Conflicts += O.Conflicts;
+    Decisions += O.Decisions;
+    Propagations += O.Propagations;
+    Restarts += O.Restarts;
+    Clauses = Clauses > O.Clauses ? Clauses : O.Clauses;
+    CnfVars = CnfVars > O.CnfVars ? CnfVars : O.CnfVars;
+  }
+};
+
 /// Outcome of a check: a verdict, a model when Sat, and a reason when
 /// Unknown ("timeout", "memory", or "quantifier limit").
 struct SolveOutcome {
   SatResult Res = SatResult::Unknown;
   Model M;
   std::string UnknownReason;
+  /// Effort spent by this check (tentpole observability layer).
+  SolveStats Stats;
 
   bool isSat() const { return Res == SatResult::Sat; }
   bool isUnsat() const { return Res == SatResult::Unsat; }
@@ -63,14 +95,21 @@ public:
   /// Checks satisfiability of all assertions so far.
   SolveOutcome check(const SolverBudget &Budget = SolverBudget());
 
-  /// Statistics for benchmarking.
+  /// Statistics for benchmarking. Decisions/propagations are forwarded from
+  /// the underlying SatSolver so callers never need solver internals.
   uint64_t numConflicts() const { return Sat->numConflicts(); }
+  uint64_t numDecisions() const { return Sat->numDecisions(); }
+  uint64_t numPropagations() const { return Sat->numPropagations(); }
   size_t numClauses() const { return Sat->numClauses(); }
 
 private:
   std::unique_ptr<SatSolver> Sat;
   std::unique_ptr<BitBlaster> Blaster;
   bool TriviallyUnsat = false;
+  /// Bit-blaster telemetry already flushed to the stats registry.
+  uint64_t SeenBlastClauses = 0, SeenBlastVars = 0, SeenBlastHits = 0;
+
+  void flushBlastStats();
 
   /// Apps already Ackermannized, grouped by function name.
   struct AckApp {

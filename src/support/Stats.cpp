@@ -1,0 +1,119 @@
+//===- support/Stats.cpp - Structured statistics registry -------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace alive;
+using namespace alive::stats;
+
+uint64_t Snapshot::counter(const std::string &Name) const {
+  for (const auto &[N, V] : Counters)
+    if (N == Name)
+      return V;
+  return 0;
+}
+
+DistSummary Snapshot::dist(const std::string &Name) const {
+  for (const auto &[N, D] : Dists)
+    if (N == Name)
+      return D;
+  return DistSummary();
+}
+
+Registry &Registry::get() {
+  static Registry R;
+  return R;
+}
+
+Counter Registry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<std::atomic<uint64_t>>(0);
+  return Counter(Slot.get());
+}
+
+static void recordLocked(DistSummary &D, double Value) {
+  if (D.Count == 0) {
+    D.Min = D.Max = Value;
+  } else {
+    D.Min = std::min(D.Min, Value);
+    D.Max = std::max(D.Max, Value);
+  }
+  ++D.Count;
+  D.Sum += Value;
+}
+
+void Registry::addSample(const std::string &Name, double Value) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto &Slot = Dists[Name];
+  if (!Slot)
+    Slot = std::make_unique<DistSummary>();
+  recordLocked(*Slot, Value);
+}
+
+Sampler Registry::sampler(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto &Slot = Dists[Name];
+  if (!Slot)
+    Slot = std::make_unique<DistSummary>();
+  return Sampler(Slot.get());
+}
+
+void Sampler::record(double Value) {
+  if (!Slot)
+    return;
+  std::lock_guard<std::mutex> Lock(Registry::get().Mu);
+  recordLocked(*Slot, Value);
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &[Name, Slot] : Counters)
+    Slot->store(0, std::memory_order_relaxed);
+  for (auto &[Name, Slot] : Dists)
+    *Slot = DistSummary();
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Snapshot S;
+  for (const auto &[Name, Slot] : Counters)
+    S.Counters.push_back({Name, Slot->load(std::memory_order_relaxed)});
+  for (const auto &[Name, D] : Dists)
+    if (D->Count)
+      S.Dists.push_back({Name, *D});
+  return S;
+}
+
+std::string Registry::table() const {
+  Snapshot S = snapshot();
+  std::string Out;
+  char Line[256];
+  if (!S.Counters.empty()) {
+    Out += "counters:\n";
+    for (const auto &[Name, V] : S.Counters) {
+      std::snprintf(Line, sizeof Line, "  %-36s %12llu\n", Name.c_str(),
+                    (unsigned long long)V);
+      Out += Line;
+    }
+  }
+  if (!S.Dists.empty()) {
+    Out += "distributions (count / sum / min / max):\n";
+    for (const auto &[Name, D] : S.Dists) {
+      std::snprintf(Line, sizeof Line,
+                    "  %-36s %8llu %12.4f %12.6f %12.6f\n", Name.c_str(),
+                    (unsigned long long)D.Count, D.Sum, D.Min, D.Max);
+      Out += Line;
+    }
+  }
+  if (Out.empty())
+    Out = "(no statistics recorded)\n";
+  return Out;
+}

@@ -9,8 +9,11 @@
 
 #include "refine/Refinement.h"
 #include "ir/Parser.h"
+#include "support/Trace.h"
 
 #include "gtest/gtest.h"
+
+#include <sstream>
 
 using namespace alive;
 using namespace alive::refine;
@@ -424,6 +427,54 @@ entry:
 }
 )");
   EXPECT_EQ(V.Kind, VerdictKind::Failed);
+}
+
+TEST(Refine, ObservabilityPerQueryStats) {
+  const char *F = R"(
+define i8 @f(i8 %a, i8 %b) {
+entry:
+  %x = add i8 %a, %b
+  %y = sub i8 %x, %b
+  ret i8 %y
+}
+)";
+  std::ostringstream Sink;
+  trace::setStream(&Sink);
+  Verdict V = check(F, F);
+  trace::setStream(nullptr);
+  EXPECT_CORRECT(V);
+
+  // A verified pair reports one cost record per staged query run.
+  ASSERT_FALSE(V.Queries.empty());
+  EXPECT_EQ((size_t)V.QueriesRun, V.Queries.size());
+  bool AnySolverWork = false;
+  for (const QueryStats &Q : V.Queries) {
+    EXPECT_FALSE(Q.Check.empty());
+    EXPECT_FALSE(Q.Result.empty());
+    EXPECT_GE(Q.Seconds, 0.0);
+    EXPECT_GE(Q.Seconds, Q.SolverSeconds);
+    if (Q.SatChecks > 0)
+      AnySolverWork = true;
+  }
+  EXPECT_TRUE(AnySolverWork);
+
+  // The trace mirrors the run: exactly one "query" event per query, and
+  // the encode / SAT-check stages are visible too.
+  size_t QueryEvents = 0;
+  bool SawEncode = false, SawSatCheck = false, SawVerdict = false;
+  std::istringstream In(Sink.str());
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.rfind("{\"event\":\"query\",", 0) == 0)
+      ++QueryEvents;
+    SawEncode |= Line.rfind("{\"event\":\"encode\",", 0) == 0;
+    SawSatCheck |= Line.rfind("{\"event\":\"sat_check\",", 0) == 0;
+    SawVerdict |= Line.rfind("{\"event\":\"verdict\",", 0) == 0;
+  }
+  EXPECT_EQ(QueryEvents, (size_t)V.QueriesRun);
+  EXPECT_TRUE(SawEncode);
+  EXPECT_TRUE(SawSatCheck);
+  EXPECT_TRUE(SawVerdict);
 }
 
 } // namespace

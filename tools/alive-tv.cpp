@@ -8,13 +8,18 @@
 /// checks refinement between every function name present in both.
 ///
 ///   alive-tv src.ll tgt.ll [--unroll N] [--timeout SEC] [--equivalence]
+///            [--stats] [--json] [--trace-out FILE]
 ///
 //===----------------------------------------------------------------------===//
 
 #include "ir/Parser.h"
 #include "refine/Refinement.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -31,29 +36,127 @@ static bool readFile(const char *Path, std::string &Out) {
   return true;
 }
 
+/// Parses a strictly positive integer; rejects trailing garbage ("3x"),
+/// signs going negative, and zero. atoi would silently yield 0 or stop at
+/// the first non-digit.
+static bool parsePositiveInt(const char *S, unsigned &Out) {
+  errno = 0;
+  char *End = nullptr;
+  long V = std::strtol(S, &End, 10);
+  if (End == S || *End != '\0' || errno == ERANGE || V <= 0 ||
+      V > 0x7fffffff)
+    return false;
+  Out = (unsigned)V;
+  return true;
+}
+
+/// Parses a strictly positive decimal number (seconds).
+static bool parsePositiveDouble(const char *S, double &Out) {
+  errno = 0;
+  char *End = nullptr;
+  double V = std::strtod(S, &End);
+  if (End == S || *End != '\0' || errno == ERANGE || !(V > 0))
+    return false;
+  Out = V;
+  return true;
+}
+
+static void usage() {
+  std::fprintf(stderr,
+               "usage: alive-tv <src.ll> <tgt.ll> [--unroll N] "
+               "[--timeout SEC] [--equivalence]\n"
+               "                [--stats] [--json] [--trace-out FILE]\n"
+               "  --stats          print the statistics registry after "
+               "verification\n"
+               "  --json           emit a machine-readable per-pair summary "
+               "on stdout\n"
+               "  --trace-out FILE stream JSONL pipeline events to FILE\n");
+}
+
+/// Renders one verdict's JSON object (without trailing newline/comma).
+static void printPairJson(const std::string &Name, const refine::Verdict &V) {
+  std::printf("    {\"function\": \"%s\", \"verdict\": \"%s\", "
+              "\"failed_check\": \"%s\", \"detail\": \"%s\", "
+              "\"seconds\": %.6f, \"queries_run\": %u, \"queries\": [",
+              trace::jsonEscape(Name).c_str(), V.kindName(),
+              trace::jsonEscape(V.FailedCheck).c_str(),
+              trace::jsonEscape(V.Detail).c_str(), V.Seconds, V.QueriesRun);
+  bool FirstQ = true;
+  for (const refine::QueryStats &Q : V.Queries) {
+    std::printf("%s\n      {\"check\": \"%s\", \"result\": \"%s\", "
+                "\"seconds\": %.6f, \"solver_seconds\": %.6f, "
+                "\"sat_checks\": %u, \"ef_iterations\": %u, "
+                "\"conflicts\": %llu, \"decisions\": %llu, "
+                "\"propagations\": %llu, \"clauses\": %zu}",
+                FirstQ ? "" : ",", trace::jsonEscape(Q.Check).c_str(),
+                trace::jsonEscape(Q.Result).c_str(), Q.Seconds,
+                Q.SolverSeconds, Q.SatChecks, Q.EFIterations,
+                (unsigned long long)Q.Conflicts,
+                (unsigned long long)Q.Decisions,
+                (unsigned long long)Q.Propagations, Q.Clauses);
+    FirstQ = false;
+  }
+  std::printf("%s]}", FirstQ ? "" : "\n    ");
+}
+
 int main(int argc, char **argv) {
   const char *SrcPath = nullptr, *TgtPath = nullptr;
+  const char *TraceOut = nullptr;
+  bool ShowStats = false, Json = false;
   refine::Options Opts;
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--unroll") && I + 1 < argc) {
-      Opts.UnrollFactor = (unsigned)std::atoi(argv[++I]);
+      const char *Arg = argv[++I];
+      if (!parsePositiveInt(Arg, Opts.UnrollFactor)) {
+        std::fprintf(stderr,
+                     "error: --unroll expects a positive integer, got '%s'\n",
+                     Arg);
+        return 2;
+      }
     } else if (!std::strcmp(argv[I], "--timeout") && I + 1 < argc) {
-      Opts.Budget.TimeoutSec = std::atof(argv[++I]);
+      const char *Arg = argv[++I];
+      if (!parsePositiveDouble(Arg, Opts.Budget.TimeoutSec)) {
+        std::fprintf(
+            stderr,
+            "error: --timeout expects a positive number of seconds, got "
+            "'%s'\n",
+            Arg);
+        return 2;
+      }
     } else if (!std::strcmp(argv[I], "--equivalence")) {
       Opts.EquivalenceMode = true;
+    } else if (!std::strcmp(argv[I], "--stats")) {
+      ShowStats = true;
+    } else if (!std::strcmp(argv[I], "--json")) {
+      Json = true;
+    } else if (!std::strcmp(argv[I], "--trace-out") && I + 1 < argc) {
+      TraceOut = argv[++I];
+    } else if (!std::strcmp(argv[I], "--unroll") ||
+               !std::strcmp(argv[I], "--timeout") ||
+               !std::strcmp(argv[I], "--trace-out")) {
+      std::fprintf(stderr, "error: %s requires a value\n", argv[I]);
+      return 2;
+    } else if (argv[I][0] == '-' && argv[I][1] != '\0') {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[I]);
+      usage();
+      return 2;
     } else if (!SrcPath) {
       SrcPath = argv[I];
     } else if (!TgtPath) {
       TgtPath = argv[I];
     } else {
       std::fprintf(stderr, "unexpected argument '%s'\n", argv[I]);
+      usage();
       return 2;
     }
   }
   if (!SrcPath || !TgtPath) {
-    std::fprintf(stderr,
-                 "usage: alive-tv <src.ll> <tgt.ll> [--unroll N] "
-                 "[--timeout SEC] [--equivalence]\n");
+    usage();
+    return 2;
+  }
+
+  if (TraceOut && !trace::openFile(TraceOut)) {
+    std::fprintf(stderr, "error: cannot open trace file '%s'\n", TraceOut);
     return 2;
   }
 
@@ -63,6 +166,7 @@ int main(int argc, char **argv) {
     return 2;
   }
   Diag Err;
+  Stopwatch ParseTimer;
   auto SrcM = ir::parseModule(SrcText, Err);
   if (!SrcM) {
     std::fprintf(stderr, "%s: %s\n", SrcPath, Err.str().c_str());
@@ -73,28 +177,59 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "%s: %s\n", TgtPath, Err.str().c_str());
     return 2;
   }
+  if (trace::enabled())
+    trace::Event("parse")
+        .str("src", SrcPath)
+        .str("tgt", TgtPath)
+        .num("seconds", ParseTimer.seconds())
+        .num("src_bytes", SrcText.size())
+        .num("tgt_bytes", TgtText.size());
 
   auto Results = refine::verifyModules(*SrcM, *TgtM, Opts);
   int Failures = 0;
-  for (const auto &[Name, V] : Results) {
-    std::printf("---- @%s ----\n", Name.c_str());
-    switch (V.Kind) {
-    case refine::VerdictKind::Correct:
-      std::printf("Transformation seems to be correct!  (%.2fs, %u queries)\n",
-                  V.Seconds, V.QueriesRun);
-      break;
-    case refine::VerdictKind::Incorrect:
-      ++Failures;
-      std::printf("Transformation doesn't verify!\nERROR: %s\n%s\n",
-                  V.FailedCheck.c_str(), V.Detail.c_str());
-      break;
-    default:
-      std::printf("%s: %s (%s)\n", V.kindName(), V.FailedCheck.c_str(),
-                  V.Detail.c_str());
-      break;
+  if (Json) {
+    std::printf("{\n  \"src\": \"%s\",\n  \"tgt\": \"%s\",\n  \"pairs\": [\n",
+                trace::jsonEscape(SrcPath).c_str(),
+                trace::jsonEscape(TgtPath).c_str());
+    bool First = true;
+    for (const auto &[Name, V] : Results) {
+      if (V.isIncorrect())
+        ++Failures;
+      if (!First)
+        std::printf(",\n");
+      First = false;
+      printPairJson(Name, V);
     }
+    std::printf("\n  ]\n}\n");
+  } else {
+    for (const auto &[Name, V] : Results) {
+      std::printf("---- @%s ----\n", Name.c_str());
+      switch (V.Kind) {
+      case refine::VerdictKind::Correct:
+        std::printf(
+            "Transformation seems to be correct!  (%.2fs, %u queries)\n",
+            V.Seconds, V.QueriesRun);
+        break;
+      case refine::VerdictKind::Incorrect:
+        ++Failures;
+        std::printf("Transformation doesn't verify!\nERROR: %s\n%s\n",
+                    V.FailedCheck.c_str(), V.Detail.c_str());
+        break;
+      default:
+        std::printf("%s: %s (%s)\n", V.kindName(), V.FailedCheck.c_str(),
+                    V.Detail.c_str());
+        break;
+      }
+    }
+    if (Results.empty())
+      std::printf("no function pairs to verify\n");
   }
-  if (Results.empty())
-    std::printf("no function pairs to verify\n");
+
+  if (ShowStats) {
+    // With --json active, stdout must stay a single valid JSON document.
+    std::string Table = stats::Registry::get().table();
+    std::fputs(Table.c_str(), Json ? stderr : stdout);
+  }
+  trace::close();
   return Failures ? 1 : 0;
 }
