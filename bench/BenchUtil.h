@@ -14,7 +14,7 @@
 
 #include "corpus/Corpus.h"
 #include "ir/Parser.h"
-#include "refine/Refinement.h"
+#include "refine/Validator.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 
@@ -67,7 +67,7 @@ inline refine::Verdict runPair(const corpus::TestPair &P,
   auto TgtM = ir::parseModuleOrDie(P.TgtIR);
   const ir::Function *SF = SrcM->function(SrcM->numFunctions() - 1);
   const ir::Function *TF = TgtM->functionByName(SF->name());
-  return refine::verifyRefinement(*SF, *TF, SrcM.get(), Opts);
+  return refine::Validator(Opts).verifyPair(*SF, *TF, SrcM.get());
 }
 
 /// Sum of the named distribution in a registry snapshot; 0 when absent.

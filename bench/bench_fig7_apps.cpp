@@ -39,12 +39,13 @@ int main() {
     Tally T;
     Stopwatch Timer;
     ir::Module *MPtr = M.get();
+    refine::Validator Validator(Opts);
     opt::TVHook Hook = [&](const ir::Function &Before,
                            const ir::Function &After,
                            const std::string &) {
       ++Diff;
       smt::resetContext();
-      T.add(refine::verifyRefinement(Before, After, MPtr, Opts));
+      T.add(Validator.verifyPair(Before, After, MPtr));
     };
     // The honest -O2 pipeline plus the in-the-wild select miscompilation
     // (first, before instcombine canonicalizes its trigger pattern away).

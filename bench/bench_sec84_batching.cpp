@@ -17,6 +17,8 @@
 #include "BenchUtil.h"
 #include "opt/Pass.h"
 
+#include <thread>
+
 using namespace alive;
 using namespace alive::bench;
 
@@ -34,11 +36,12 @@ int main() {
     unsigned Checks = 0;
     Stopwatch Timer;
     ir::Module *MPtr = M.get();
+    refine::Validator Validator(Opts);
     opt::TVHook Hook = [&](const ir::Function &Before,
                            const ir::Function &After, const std::string &) {
       ++Checks;
       smt::resetContext();
-      T.add(refine::verifyRefinement(Before, After, MPtr, Opts));
+      T.add(Validator.verifyPair(Before, After, MPtr));
     };
     opt::runPipeline(*M, opt::defaultPipeline(), Hook, Batch);
     std::printf("%-10s checks=%-4u valid=%-4u viol=%-3u other=%-3u "
@@ -67,10 +70,11 @@ entry:
     Opts.Budget.TimeoutSec = 15;
     unsigned Violations = 0;
     ir::Module *MPtr = M.get();
+    refine::Validator Validator(Opts);
     opt::TVHook Hook = [&](const ir::Function &Before,
                            const ir::Function &After, const std::string &P) {
       smt::resetContext();
-      refine::Verdict V = refine::verifyRefinement(Before, After, MPtr, Opts);
+      refine::Verdict V = Validator.verifyPair(Before, After, MPtr);
       if (V.isIncorrect()) {
         ++Violations;
         std::printf("  caught after '%s'\n", P.c_str());
@@ -82,6 +86,57 @@ entry:
                 Batch && Violations == 0
                     ? "(the second buggy pass masked the first)"
                     : "");
+  }
+
+  // Parallel batch verification: collect every per-pass (before, after)
+  // pair up front, then replay the same batch through the Validator at
+  // increasing job counts. Verdict tallies must agree across job counts
+  // (the expression context is per-thread and reset per pair, so results
+  // are scheduling-independent); wall time is what parallelism buys.
+  std::printf("\nparallel batch verification (-j sweep):\n");
+  {
+    auto M = corpus::generateApp(corpus::appSpecs()[1]); // gzip
+    refine::Options Opts;
+    Opts.UnrollFactor = 8;
+    Opts.Budget.TimeoutSec = 10;
+    std::vector<std::unique_ptr<ir::Function>> Keep;
+    std::vector<refine::Validator::PairTask> Tasks;
+    ir::Module *MPtr = M.get();
+    opt::TVHook Collect = [&](const ir::Function &Before,
+                              const ir::Function &After,
+                              const std::string &Pass) {
+      Keep.push_back(Before.clone());
+      const ir::Function *B = Keep.back().get();
+      Keep.push_back(After.clone());
+      const ir::Function *A = Keep.back().get();
+      Tasks.push_back({B, A, MPtr, Before.name() + " (" + Pass + ")"});
+    };
+    opt::runPipeline(*M, opt::defaultPipeline(), Collect, /*Batch=*/false);
+    std::printf("  %zu pairs collected; hardware threads: %u\n",
+                Tasks.size(), std::thread::hardware_concurrency());
+
+    refine::Validator Validator(Opts);
+    refine::BatchSummary Base;
+    double BaseSec = 0;
+    for (unsigned Jobs : {1u, 2u, 4u}) {
+      Stopwatch Timer;
+      auto Results = Validator.verifyBatch(Tasks, Jobs);
+      double Wall = Timer.seconds();
+      refine::BatchSummary S = refine::summarize(Results);
+      if (Jobs == 1) {
+        Base = S;
+        BaseSec = Wall;
+      }
+      bool Parity = S.Correct == Base.Correct &&
+                    S.Incorrect == Base.Incorrect &&
+                    S.Timeout == Base.Timeout && S.Other == Base.Other &&
+                    S.QueriesRun == Base.QueriesRun;
+      std::printf("  -j %u   wall=%.2fs  speedup=%.2fx  valid=%u viol=%u "
+                  "queries=%u%s\n",
+                  Jobs, Wall, Wall > 0 ? BaseSec / Wall : 0.0, S.Correct,
+                  S.Incorrect, S.QueriesRun,
+                  Parity ? "" : "  ** VERDICT MISMATCH vs -j 1 **");
+    }
   }
   return 0;
 }

@@ -13,7 +13,7 @@
 
 #include "corpus/Corpus.h"
 #include "ir/Parser.h"
-#include "refine/Refinement.h"
+#include "refine/Validator.h"
 
 #include <cstdio>
 
@@ -23,6 +23,7 @@ int main() {
   refine::Options Opts;
   Opts.UnrollFactor = 8;
   Opts.Budget.TimeoutSec = 20;
+  refine::Validator Validator(Opts);
 
   unsigned Detected = 0, Missed = 0;
   for (const corpus::KnownBug &B : corpus::knownBugSuite()) {
@@ -31,7 +32,7 @@ int main() {
     auto TgtM = ir::parseModuleOrDie(B.Pair.TgtIR);
     const ir::Function *SF = SrcM->function(SrcM->numFunctions() - 1);
     const ir::Function *TF = TgtM->functionByName(SF->name());
-    refine::Verdict V = refine::verifyRefinement(*SF, *TF, SrcM.get(), Opts);
+    refine::Verdict V = Validator.verifyPair(*SF, *TF, SrcM.get());
     bool Caught = V.isIncorrect();
     Caught ? ++Detected : ++Missed;
     std::printf("%-24s %-14s %s%s\n", B.Pair.Name.c_str(),

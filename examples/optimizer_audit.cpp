@@ -14,7 +14,7 @@
 #include "corpus/Corpus.h"
 #include "ir/Parser.h"
 #include "opt/Pass.h"
-#include "refine/Refinement.h"
+#include "refine/Validator.h"
 
 #include <cstdio>
 
@@ -40,13 +40,14 @@ entry:
   refine::Options Opts;
   Opts.UnrollFactor = 8;
   Opts.Budget.TimeoutSec = 20;
+  refine::Validator Validator(Opts);
 
   unsigned Checked = 0, Bad = 0;
   opt::TVHook Hook = [&](const ir::Function &Before,
                          const ir::Function &After,
                          const std::string &PassName) {
     smt::resetContext();
-    refine::Verdict V = refine::verifyRefinement(Before, After, M.get(), Opts);
+    refine::Verdict V = Validator.verifyPair(Before, After, M.get());
     ++Checked;
     if (V.isCorrect()) {
       std::printf("  [ok]   %-18s @%s (%.2fs)\n", PassName.c_str(),

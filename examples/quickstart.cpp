@@ -7,13 +7,13 @@
 /// Quickstart: parse a source/target pair of IR functions, check
 /// refinement, and print the verdict (with a counterexample when the
 /// transformation is wrong). This is the whole public API surface a user
-/// needs: ir::parseModule + refine::verifyRefinement.
+/// needs: ir::parseModule + a refine::Validator.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "ir/Parser.h"
 #include "ir/Printer.h"
-#include "refine/Refinement.h"
+#include "refine/Validator.h"
 
 #include <cstdio>
 
@@ -46,10 +46,10 @@ entry:
   refine::Options Opts;
   Opts.UnrollFactor = 2;        // enough for loop-free code
   Opts.Budget.TimeoutSec = 30;  // per-pair solver budget
+  refine::Validator Validator(Opts);
 
-  refine::Verdict V = refine::verifyRefinement(
-      *SrcM->functionByName("f"), *TgtM->functionByName("f"), SrcM.get(),
-      Opts);
+  refine::Verdict V = Validator.verifyPair(
+      *SrcM->functionByName("f"), *TgtM->functionByName("f"), SrcM.get());
 
   std::printf("verdict: %s\n", V.kindName());
   if (V.isIncorrect())
@@ -66,9 +66,8 @@ entry:
 }
 )";
   auto FixedM = ir::parseModuleOrDie(Fixed);
-  refine::Verdict V2 = refine::verifyRefinement(
-      *SrcM->functionByName("f"), *FixedM->functionByName("f"), SrcM.get(),
-      Opts);
+  refine::Verdict V2 = Validator.verifyPair(
+      *SrcM->functionByName("f"), *FixedM->functionByName("f"), SrcM.get());
   std::printf("with freeze: %s\n", V2.kindName());
   return 0;
 }

@@ -12,7 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ir/Parser.h"
-#include "refine/Refinement.h"
+#include "refine/Validator.h"
 
 #include <cstdio>
 
@@ -48,9 +48,8 @@ entry:
     refine::Options Opts;
     Opts.UnrollFactor = U;
     Opts.Budget.TimeoutSec = 30;
-    refine::Verdict V = refine::verifyRefinement(
-        *SrcM->functionByName("f"), *TgtM->functionByName("f"), SrcM.get(),
-        Opts);
+    refine::Verdict V = refine::Validator(Opts).verifyPair(
+        *SrcM->functionByName("f"), *TgtM->functionByName("f"), SrcM.get());
     std::printf("%-8u %-12s %.3fs\n", U, V.kindName(), V.Seconds);
   }
   std::printf("\nbelow the bound the buggy iteration is excluded by the "

@@ -9,13 +9,18 @@
 #include <cassert>
 #include <map>
 #include <memory>
+#include <mutex>
 
 using namespace alive;
 using namespace alive::ir;
 
 namespace alive::ir {
 
-/// Owns all interned types for the process lifetime.
+/// Owns all interned types for the process lifetime. Unlike the expression
+/// context this stays process-global: Type pointers compare by identity
+/// across threads (the parser interns on the main thread, verification
+/// workers look types up concurrently), so the factories serialize on a
+/// mutex. Interning is rare — never on a solver hot path.
 class TypeContext {
 public:
   static TypeContext &get() {
@@ -27,6 +32,7 @@ public:
   Type Float{Type::Kind::Float};
   Type Double{Type::Kind::Double};
   Type Ptr{Type::Kind::Ptr};
+  std::mutex Mu;
   std::map<unsigned, std::unique_ptr<Type>> Ints;
   std::map<std::pair<const Type *, unsigned>, std::unique_ptr<Type>> Vectors;
   std::map<std::pair<const Type *, unsigned>, std::unique_ptr<Type>> Arrays;
@@ -45,7 +51,9 @@ const Type *Type::getPtr() { return &TypeContext::get().Ptr; }
 
 const Type *Type::getInt(unsigned Bits) {
   assert(Bits >= 1 && Bits <= 64 && "unsupported integer width");
-  auto &Slot = TypeContext::get().Ints[Bits];
+  TypeContext &Ctx = TypeContext::get();
+  std::lock_guard<std::mutex> Lock(Ctx.Mu);
+  auto &Slot = Ctx.Ints[Bits];
   if (!Slot) {
     Slot.reset(new Type(Kind::Int));
     Slot->Bits = Bits;
@@ -56,7 +64,9 @@ const Type *Type::getInt(unsigned Bits) {
 const Type *Type::getVector(const Type *Elem, unsigned Count) {
   assert(Elem->isScalar() && "vector elements must be scalar");
   assert(Count >= 1 && "empty vector type");
-  auto &Slot = TypeContext::get().Vectors[{Elem, Count}];
+  TypeContext &Ctx = TypeContext::get();
+  std::lock_guard<std::mutex> Lock(Ctx.Mu);
+  auto &Slot = Ctx.Vectors[{Elem, Count}];
   if (!Slot) {
     Slot.reset(new Type(Kind::Vector));
     Slot->Elem = Elem;
@@ -67,7 +77,9 @@ const Type *Type::getVector(const Type *Elem, unsigned Count) {
 
 const Type *Type::getArray(const Type *Elem, unsigned Count) {
   assert(Count >= 1 && "empty array type");
-  auto &Slot = TypeContext::get().Arrays[{Elem, Count}];
+  TypeContext &Ctx = TypeContext::get();
+  std::lock_guard<std::mutex> Lock(Ctx.Mu);
+  auto &Slot = Ctx.Arrays[{Elem, Count}];
   if (!Slot) {
     Slot.reset(new Type(Kind::Array));
     Slot->Elem = Elem;
@@ -78,7 +90,9 @@ const Type *Type::getArray(const Type *Elem, unsigned Count) {
 
 const Type *Type::getStruct(std::vector<const Type *> Fields) {
   assert(!Fields.empty() && "empty struct type");
-  auto &Slot = TypeContext::get().Structs[Fields];
+  TypeContext &Ctx = TypeContext::get();
+  std::lock_guard<std::mutex> Lock(Ctx.Mu);
+  auto &Slot = Ctx.Structs[Fields];
   if (!Slot) {
     Slot.reset(new Type(Kind::Struct));
     Slot->Fields = std::move(Fields);

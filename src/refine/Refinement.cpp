@@ -7,6 +7,7 @@
 #include "refine/Refinement.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
+#include "refine/Validator.h"
 #include "sema/Encoder.h"
 #include "smt/ExistsForall.h"
 #include "support/Stats.h"
@@ -14,6 +15,7 @@
 #include "transform/Unroll.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -31,6 +33,18 @@ using ir::Module;
 static bool debugEnabled() {
   static const bool On = std::getenv("ALIVE_EF_DEBUG") != nullptr;
   return On;
+}
+
+std::string Options::validate() const {
+  if (UnrollFactor == 0)
+    return "unroll factor must be at least 1";
+  if (!(Budget.TimeoutSec > 0) || !std::isfinite(Budget.TimeoutSec))
+    return "solver timeout must be a positive, finite number of seconds";
+  if (Budget.MaxLiterals == 0)
+    return "solver memory budget (MaxLiterals) must be nonzero";
+  if (Budget.MaxConflicts == 0)
+    return "solver conflict budget (MaxConflicts) must be nonzero";
+  return "";
 }
 
 const char *Verdict::kindName() const {
@@ -498,8 +512,8 @@ Verdict RefinementCheck::run() {
 
 } // namespace
 
-Verdict refine::verifyRefinement(const Function &Src, const Function &Tgt,
-                                 const Module *M, const Options &Opts) {
+Verdict refine::detail::checkPair(const Function &Src, const Function &Tgt,
+                                  const Module *M, const Options &Opts) {
   ALIVE_STAT_COUNTER(Pairs, "refine.pairs");
   Pairs.inc();
   stats::ScopedTimer Timer("time.verify");
@@ -515,18 +529,21 @@ Verdict refine::verifyRefinement(const Function &Src, const Function &Tgt,
   return V;
 }
 
+// Deprecated wrappers: the Validator facade is the supported entry point.
+
+Verdict refine::verifyRefinement(const Function &Src, const Function &Tgt,
+                                 const Module *M, const Options &Opts) {
+  return Validator(Opts).verifyPair(Src, Tgt, M);
+}
+
 std::vector<std::pair<std::string, Verdict>>
 refine::verifyModules(const Module &Src, const Module &Tgt,
                       const Options &Opts) {
+  std::vector<PairResult> Results =
+      Validator(Opts).verifyModules(Src, Tgt, /*Jobs=*/1);
   std::vector<std::pair<std::string, Verdict>> Out;
-  for (unsigned I = 0; I < Src.numFunctions(); ++I) {
-    const Function *SF = Src.function(I);
-    if (SF->isDeclaration())
-      continue;
-    const Function *TF = Tgt.functionByName(SF->name());
-    if (!TF || TF->isDeclaration())
-      continue;
-    Out.push_back({SF->name(), verifyRefinement(*SF, *TF, &Src, Opts)});
-  }
+  Out.reserve(Results.size());
+  for (PairResult &R : Results)
+    Out.push_back({std::move(R.Name), std::move(R.V)});
   return Out;
 }

@@ -42,6 +42,13 @@ struct Options {
   /// Ablation E8: symbolic quantifier-instantiation seeds (the Section 3.7
   /// undef-instantiation optimization analog). Off = plain CEGIS.
   bool UseInstantiationSeeds = true;
+
+  /// Sanity-checks the configuration: rejects a zero unroll factor and
+  /// zero / non-finite solver budget fields. \returns an empty string when
+  /// the options are usable, otherwise a human-readable diagnostic. The
+  /// Validator and the command-line tools call this so no tool has to
+  /// hand-roll flag checks.
+  std::string validate() const;
 };
 
 enum class VerdictKind {
@@ -98,12 +105,33 @@ struct Verdict {
   const char *kindName() const;
 };
 
+namespace detail {
+/// Implementation entry shared by Validator::verifyPair and the deprecated
+/// free functions below: runs the staged checks for one pair under \p Opts,
+/// including the per-pair registry samples and the "verdict" trace event.
+/// Does not validate \p Opts and does not install a cancellation flag —
+/// that is the Validator's job.
+Verdict checkPair(const ir::Function &Src, const ir::Function &Tgt,
+                  const ir::Module *M, const Options &Opts);
+} // namespace detail
+
+/// Deprecated: prefer refine::Validator::verifyPair (Validator.h), which
+/// validates the options and supports cooperative cancellation. Kept as a
+/// thin forwarding wrapper so existing callers compile unchanged.
+///
 /// Checks that \p Tgt refines \p Src. \p M provides globals (may be null).
 Verdict verifyRefinement(const ir::Function &Src, const ir::Function &Tgt,
                          const ir::Module *M, const Options &Opts);
 
-/// Convenience: validates every function pair with matching names across
-/// two modules (the alive-tv behavior).
+/// Deprecated: prefer refine::Validator::verifyModules (Validator.h), which
+/// can fan pairs out over a worker pool and stream verdicts as they
+/// complete. Kept as a thin forwarding wrapper (sequential, Jobs=1) so
+/// existing callers compile unchanged. Like the Validator batch entry
+/// points, it resets the calling thread's expression context between pairs,
+/// so callers must not hold live smt::Expr handles across the call.
+///
+/// Validates every function pair with matching names across two modules
+/// (the alive-tv behavior).
 std::vector<std::pair<std::string, Verdict>>
 verifyModules(const ir::Module &Src, const ir::Module &Tgt,
               const Options &Opts);

@@ -1,0 +1,153 @@
+//===- refine/Validator.cpp - Batch translation-validation engine -----------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "refine/Validator.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
+
+#include <future>
+#include <thread>
+
+using namespace alive;
+using namespace alive::refine;
+
+BatchSummary refine::summarize(const std::vector<PairResult> &Results) {
+  BatchSummary S;
+  S.Pairs = (unsigned)Results.size();
+  for (const PairResult &R : Results) {
+    switch (R.V.Kind) {
+    case VerdictKind::Correct:
+      ++S.Correct;
+      break;
+    case VerdictKind::Incorrect:
+      ++S.Incorrect;
+      break;
+    case VerdictKind::Timeout:
+      ++S.Timeout;
+      break;
+    case VerdictKind::OutOfMemory:
+      ++S.OutOfMemory;
+      break;
+    case VerdictKind::Unsupported:
+      ++S.Unsupported;
+      break;
+    case VerdictKind::PreconditionFalse:
+    case VerdictKind::Failed:
+      ++S.Other;
+      break;
+    }
+    S.QueriesRun += R.V.QueriesRun;
+    S.Seconds += R.V.Seconds;
+  }
+  return S;
+}
+
+Validator::Validator(Options Opts) : Opts(std::move(Opts)) {}
+
+Validator::~Validator() = default;
+
+void Validator::onVerdict(VerdictCallback CB) {
+  std::lock_guard<std::mutex> Lock(CallbackMu);
+  Callback = std::move(CB);
+}
+
+void Validator::emit(const PairResult &R) {
+  // One mutex both reads and serializes: verdict streams interleave cleanly
+  // even when workers finish simultaneously.
+  std::lock_guard<std::mutex> Lock(CallbackMu);
+  if (Callback)
+    Callback(R);
+}
+
+Verdict Validator::verifyPair(const ir::Function &Src, const ir::Function &Tgt,
+                              const ir::Module *M) {
+  if (std::string Err = Opts.validate(); !Err.empty()) {
+    Verdict V;
+    V.Kind = VerdictKind::Failed;
+    V.FailedCheck = "options";
+    V.Detail = Err;
+    return V;
+  }
+  if (Cancel.isCancelled()) {
+    Verdict V;
+    V.Kind = VerdictKind::Timeout;
+    V.FailedCheck = "cancelled";
+    V.Detail = "cancelled before verification started";
+    return V;
+  }
+  Options O = Opts;
+  if (!O.Budget.Cancel)
+    O.Budget.Cancel = Cancel.flag();
+  return detail::checkPair(Src, Tgt, M, O);
+}
+
+void Validator::runTask(const PairTask &T, unsigned Index, PairResult &Out) {
+  Out.Name = !T.Name.empty() ? T.Name : T.Src ? T.Src->name() : "";
+  Out.Index = Index;
+  if (!T.Src || !T.Tgt) {
+    Out.V.Kind = VerdictKind::Failed;
+    Out.V.FailedCheck = "batch";
+    Out.V.Detail = "null function in batch task";
+  } else {
+    // Fresh per-thread expression context per pair: bounds worker memory
+    // over long batches and makes each pair's encoding independent of
+    // scheduling, so Jobs=N reproduces Jobs=1 verdicts exactly.
+    smt::resetContext();
+    Out.V = verifyPair(*T.Src, *T.Tgt, T.M);
+  }
+  emit(Out);
+}
+
+std::vector<PairResult>
+Validator::verifyBatch(const std::vector<PairTask> &Tasks, unsigned Jobs) {
+  std::vector<PairResult> Out(Tasks.size());
+  if (Tasks.empty())
+    return Out;
+  if (Jobs == 0) {
+    Jobs = std::thread::hardware_concurrency();
+    if (Jobs == 0)
+      Jobs = 1;
+  }
+  ALIVE_STAT_COUNTER(Batches, "validator.batches");
+  Batches.inc();
+  if (trace::enabled())
+    trace::Event("batch")
+        .num("pairs", Tasks.size())
+        .num("jobs", Jobs);
+
+  if (Jobs <= 1 || Tasks.size() == 1) {
+    for (size_t I = 0; I < Tasks.size(); ++I)
+      runTask(Tasks[I], (unsigned)I, Out[I]);
+    return Out;
+  }
+
+  if (!Pool || Pool->numWorkers() != Jobs)
+    Pool = std::make_unique<support::ThreadPool>(Jobs);
+  std::vector<std::future<void>> Futures;
+  Futures.reserve(Tasks.size());
+  for (size_t I = 0; I < Tasks.size(); ++I)
+    Futures.push_back(Pool->submit(
+        [this, &Tasks, &Out, I] { runTask(Tasks[I], (unsigned)I, Out[I]); }));
+  for (std::future<void> &F : Futures)
+    F.get();
+  return Out;
+}
+
+std::vector<PairResult> Validator::verifyModules(const ir::Module &Src,
+                                                 const ir::Module &Tgt,
+                                                 unsigned Jobs) {
+  std::vector<PairTask> Tasks;
+  for (unsigned I = 0; I < Src.numFunctions(); ++I) {
+    const ir::Function *SF = Src.function(I);
+    if (SF->isDeclaration())
+      continue;
+    const ir::Function *TF = Tgt.functionByName(SF->name());
+    if (!TF || TF->isDeclaration())
+      continue;
+    Tasks.push_back({SF, TF, &Src, SF->name()});
+  }
+  return verifyBatch(Tasks, Jobs);
+}

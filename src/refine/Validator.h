@@ -1,0 +1,136 @@
+//===- refine/Validator.h - Batch translation-validation engine -*- C++ -*-==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The front door of the refinement layer: a Validator owns the Options, a
+/// cancellation token and (lazily) a work-stealing thread pool, and verifies
+/// single pairs, explicit pair batches, or whole module pairs with a
+/// configurable job count. Batch entry points can stream verdicts through
+/// onVerdict() as workers complete them, so a driver validating tens of
+/// thousands of pairs (the paper's Sections 7-8 evaluations) reports
+/// progress long before the slowest pair finishes.
+///
+/// Threading model: every pair is verified entirely on one thread — the
+/// expression context is thread-local (see smt/Expr.h), so workers never
+/// contend on the interning hot path, and a Verdict carries only plain data
+/// and may cross threads freely. The token's flag is installed into each
+/// pair's SolverBudget; requestCancel() therefore interrupts even a SAT
+/// search already in flight (verdict: Timeout with detail "cancelled").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE2RE_REFINE_VALIDATOR_H
+#define ALIVE2RE_REFINE_VALIDATOR_H
+
+#include "refine/Refinement.h"
+#include "support/ThreadPool.h"
+
+#include <functional>
+#include <memory>
+#include <mutex>
+
+namespace alive::refine {
+
+/// One completed source/target pair in a batch.
+struct PairResult {
+  /// Function name (or the task's label for explicit batches).
+  std::string Name;
+  /// Position in batch submission order; results returned by the batch
+  /// entry points are sorted by it regardless of completion order.
+  unsigned Index = 0;
+  Verdict V;
+};
+
+/// Tallies of one batch run, aggregated from per-pair verdicts (per-job
+/// stats live on each Verdict; the process-wide stats::Registry keeps
+/// accumulating across batches independently).
+struct BatchSummary {
+  unsigned Pairs = 0;
+  unsigned Correct = 0;
+  unsigned Incorrect = 0;
+  unsigned Timeout = 0;
+  unsigned OutOfMemory = 0;
+  unsigned Unsupported = 0;
+  unsigned Other = 0; ///< precondition-false / failed
+  unsigned QueriesRun = 0;
+  /// Sum of per-pair wall times (CPU-ish cost; wall clock of a parallel
+  /// batch is smaller).
+  double Seconds = 0;
+};
+
+BatchSummary summarize(const std::vector<PairResult> &Results);
+
+/// The batch-verification engine.
+class Validator {
+public:
+  /// One verification job for verifyBatch: a pair plus the module providing
+  /// globals (may be null). \p Name labels the result; empty means the
+  /// source function's name.
+  struct PairTask {
+    const ir::Function *Src = nullptr;
+    const ir::Function *Tgt = nullptr;
+    const ir::Module *M = nullptr;
+    std::string Name;
+  };
+
+  explicit Validator(Options Opts = Options());
+  ~Validator();
+
+  Validator(const Validator &) = delete;
+  Validator &operator=(const Validator &) = delete;
+
+  const Options &options() const { return Opts; }
+
+  /// Streaming callback, invoked once per pair as verdicts complete — in
+  /// completion order, possibly from worker threads. Invocations are
+  /// serialized; the callback must not call back into this Validator.
+  using VerdictCallback = std::function<void(const PairResult &)>;
+  void onVerdict(VerdictCallback CB);
+
+  /// Verifies that \p Tgt refines \p Src; \p M provides globals (may be
+  /// null). Runs on the calling thread and leaves its expression context
+  /// alone. Invalid options yield a Failed verdict ("options").
+  Verdict verifyPair(const ir::Function &Src, const ir::Function &Tgt,
+                     const ir::Module *M = nullptr);
+
+  /// Verifies every task across \p Jobs workers (0 = one per hardware
+  /// thread; 1 = on the calling thread). Results come back in task order;
+  /// onVerdict streams them in completion order. Each task resets its
+  /// worker's expression context first, so with Jobs <= 1 the CALLING
+  /// thread's context is reset: do not hold live smt::Expr handles across
+  /// this call.
+  std::vector<PairResult> verifyBatch(const std::vector<PairTask> &Tasks,
+                                      unsigned Jobs = 1);
+
+  /// Convenience over verifyBatch: every function pair with matching names
+  /// across two modules, in source-module definition order (the alive-tv
+  /// behavior).
+  std::vector<PairResult> verifyModules(const ir::Module &Src,
+                                        const ir::Module &Tgt,
+                                        unsigned Jobs = 1);
+
+  /// Requests cooperative cancellation: pairs not yet started return
+  /// Timeout("cancelled") immediately, and in-flight solver searches abort
+  /// at their next poll. Sticky until resetCancel().
+  void requestCancel() { Cancel.requestCancel(); }
+  bool cancelRequested() const { return Cancel.isCancelled(); }
+  void resetCancel() { Cancel.reset(); }
+
+private:
+  void emit(const PairResult &R);
+  /// Runs one task on the current thread (context reset + verifyPair).
+  void runTask(const PairTask &T, unsigned Index, PairResult &Out);
+
+  Options Opts;
+  support::CancellationToken Cancel;
+  std::mutex CallbackMu; ///< guards Callback and serializes emissions
+  VerdictCallback Callback;
+  std::unique_ptr<support::ThreadPool> Pool; ///< lazily sized to Jobs
+};
+
+} // namespace alive::refine
+
+#endif // ALIVE2RE_REFINE_VALIDATOR_H

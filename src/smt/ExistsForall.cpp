@@ -461,6 +461,13 @@ EFOutcome smt::solveExistsForall(const EFQuery &Query,
       // Pick up instantiations discovered by earlier phases.
       for (; NextBlocking < InstBlockings.size(); ++NextBlocking)
         OuterSolver.add(InstBlockings[NextBlocking]);
+      // Cooperative cancellation between checks; the SAT solver polls the
+      // same flag inside a check.
+      if (Budget.Cancel && Budget.Cancel->load(std::memory_order_relaxed)) {
+        Out.Res = SatResult::Unknown;
+        Out.UnknownReason = "cancelled";
+        return Phase::Unknown;
+      }
       double Remaining = Budget.TimeoutSec - Timer.seconds();
       if (Remaining <= 0) {
         Out.Res = SatResult::Unknown;

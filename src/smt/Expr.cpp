@@ -19,7 +19,11 @@ using namespace alive::smt;
 //===----------------------------------------------------------------------===//
 
 ExprCtx &ExprCtx::get() {
-  static ExprCtx Ctx;
+  // One context per thread: the batch-verification engine runs each
+  // function pair entirely on one worker, so hash-consing never needs a
+  // lock and worker contexts never interfere. Expr handles are only
+  // meaningful on the thread that created them.
+  static thread_local ExprCtx Ctx;
   return Ctx;
 }
 

@@ -112,10 +112,17 @@ private:
   ExprId Id = NoExpr;
 };
 
-/// The global expression context: node arena + hash-consing table.
+/// The per-thread expression context: node arena + hash-consing table.
 ///
-/// Mirrors Alive2's single Z3 context. resetContext() frees everything;
-/// only call it when no Expr handles are live (tests do this between cases).
+/// Mirrors Alive2's Z3 context, but thread-local rather than process-global
+/// so the batch-verification engine can encode and solve independent
+/// function pairs on parallel workers without locking the hot interning
+/// path. Consequently an Expr handle is only valid on the thread that
+/// created it; cross-thread results must be rendered to plain data first
+/// (refine::Verdict carries only strings and numbers for this reason).
+/// resetContext() frees the calling thread's arena; only call it when that
+/// thread holds no live Expr handles (tests and the batch engine do this
+/// between verification tasks).
 class ExprCtx {
 public:
   static ExprCtx &get();
@@ -139,7 +146,8 @@ private:
   static bool sameNode(const Node &A, const Node &B);
 };
 
-/// Frees all expressions. Invalidates every live Expr handle.
+/// Frees all expressions of the calling thread's context. Invalidates every
+/// Expr handle this thread created.
 void resetContext();
 
 // --- Leaf factories -------------------------------------------------------

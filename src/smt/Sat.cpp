@@ -396,6 +396,14 @@ SatStatus SatSolver::solve(const SatLimits &Limits) {
 
   if (Unsat)
     return SatStatus::Unsat;
+  auto cancelled = [&Limits] {
+    return Limits.Cancel &&
+           Limits.Cancel->load(std::memory_order_relaxed);
+  };
+  if (cancelled()) {
+    UnknownReason = "cancelled";
+    return SatStatus::Unknown;
+  }
   if (TotalLiterals > Limits.MaxLiterals) {
     UnknownReason = "memory";
     return SatStatus::Unknown;
@@ -438,6 +446,10 @@ SatStatus SatSolver::solve(const SatLimits &Limits) {
       decayActivities();
 
       if ((Conflicts & 255) == 0) {
+        if (cancelled()) {
+          UnknownReason = "cancelled";
+          return SatStatus::Unknown;
+        }
         if (Timer.seconds() > Limits.TimeoutSec) {
           UnknownReason = "timeout";
           return SatStatus::Unknown;
@@ -487,6 +499,18 @@ SatStatus SatSolver::solve(const SatLimits &Limits) {
         return SatStatus::Sat;
     }
     ++Decisions;
+    // Conflict-gated polls can starve on propagation-heavy instances, so
+    // also poll the cancel flag and timeout on the decision path.
+    if ((Decisions & 4095) == 0) {
+      if (cancelled()) {
+        UnknownReason = "cancelled";
+        return SatStatus::Unknown;
+      }
+      if (Timer.seconds() > Limits.TimeoutSec) {
+        UnknownReason = "timeout";
+        return SatStatus::Unknown;
+      }
+    }
     TrailLim.push_back((int)Trail.size());
     enqueue(mkLit(Next, !Phase[Next]), NoReason);
   }

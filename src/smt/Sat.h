@@ -20,6 +20,7 @@
 
 #include "support/Diag.h"
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -42,6 +43,11 @@ struct SatLimits {
   uint64_t MaxConflicts = ~uint64_t(0);
   /// Approximate memory cap over clause-database literals.
   size_t MaxLiterals = 1u << 27;
+  /// Optional cooperative cancellation flag, polled alongside the timeout
+  /// check. When it becomes true, solve() returns Unknown("cancelled") at
+  /// the next poll — this is how the batch engine keeps one stuck pair
+  /// from wedging a worker past its budget.
+  const std::atomic<bool> *Cancel = nullptr;
 };
 
 /// CDCL solver. Usage: newVar()* -> addClause()* -> solve() -> modelValue().

@@ -147,6 +147,7 @@ SolveOutcome Solver::check(const SolverBudget &Budget) {
   Limits.TimeoutSec = Budget.TimeoutSec;
   Limits.MaxLiterals = Budget.MaxLiterals;
   Limits.MaxConflicts = Budget.MaxConflicts;
+  Limits.Cancel = Budget.Cancel;
 
   uint64_t C0 = Sat->numConflicts(), D0 = Sat->numDecisions();
   uint64_t P0 = Sat->numPropagations(), R0 = Sat->numRestarts();

@@ -34,6 +34,12 @@ struct SolverBudget {
   /// Approximate memory budget in CNF literals (~16 bytes each).
   size_t MaxLiterals = size_t(1) << 26;
   uint64_t MaxConflicts = ~uint64_t(0);
+  /// Optional cooperative cancellation flag, forwarded to SatLimits::Cancel
+  /// and polled between exists-forall iterations. The refinement layer maps
+  /// Unknown("cancelled") onto a Timeout verdict. Not owned; must outlive
+  /// every check using this budget. Typically points into a
+  /// support::CancellationToken held by a refine::Validator.
+  const std::atomic<bool> *Cancel = nullptr;
 };
 
 /// Aggregated solver effort over one or more satisfiability checks. Every

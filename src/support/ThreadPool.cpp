@@ -1,0 +1,100 @@
+//===- support/ThreadPool.cpp - Work-stealing thread pool -------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace alive;
+using namespace alive::support;
+
+namespace {
+
+/// Identifies the pool and worker index of the current thread, so post()
+/// from inside a task targets the caller's own deque.
+thread_local ThreadPool *CurrentPool = nullptr;
+thread_local unsigned CurrentWorker = ~0u;
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned Workers) {
+  if (Workers == 0) {
+    Workers = std::thread::hardware_concurrency();
+    if (Workers == 0)
+      Workers = 1;
+  }
+  Queues.resize(Workers);
+  Threads.reserve(Workers);
+  for (unsigned I = 0; I < Workers; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stopping = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::post(std::function<void()> Fn) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (CurrentPool == this)
+      Queues[CurrentWorker].push_back(std::move(Fn));
+    else
+      Queues[NextQueue++ % Queues.size()].push_back(std::move(Fn));
+    ++PendingTasks;
+  }
+  WorkCv.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  IdleCv.wait(Lock, [this] { return PendingTasks == 0; });
+}
+
+bool ThreadPool::popTask(unsigned Self, std::function<void()> &Out) {
+  auto &Own = Queues[Self];
+  if (!Own.empty()) {
+    Out = std::move(Own.back());
+    Own.pop_back();
+    return true;
+  }
+  for (unsigned I = 1; I < Queues.size(); ++I) {
+    auto &Victim = Queues[(Self + I) % Queues.size()];
+    if (!Victim.empty()) {
+      Out = std::move(Victim.front());
+      Victim.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned Self) {
+  CurrentPool = this;
+  CurrentWorker = Self;
+  std::unique_lock<std::mutex> Lock(Mu);
+  while (true) {
+    std::function<void()> Task;
+    if (popTask(Self, Task)) {
+      Lock.unlock();
+      Task();
+      // Release the task's captures (e.g. the shared packaged_task) before
+      // retaking the lock, so heavy destructors run unlocked.
+      Task = nullptr;
+      Lock.lock();
+      if (--PendingTasks == 0)
+        IdleCv.notify_all();
+      continue;
+    }
+    // Drain-before-stop: the destructor runs every queued task.
+    if (Stopping)
+      return;
+    WorkCv.wait(Lock);
+  }
+}

@@ -107,6 +107,27 @@ TEST(Sat, ConflictBudgetReturnsUnknown) {
   EXPECT_STREQ(S.unknownReason(), "conflict budget");
 }
 
+TEST(Sat, CancellationReturnsUnknown) {
+  SatSolver S;
+  buildPigeonhole(S, 9);
+  SatLimits L;
+  std::atomic<bool> Cancel{true}; // already set: solve aborts at entry
+  L.Cancel = &Cancel;
+  SatStatus R = S.solve(L);
+  EXPECT_EQ(R, SatStatus::Unknown);
+  EXPECT_STREQ(S.unknownReason(), "cancelled");
+}
+
+TEST(Sat, CancelFlagClearDoesNotDisturbSolve) {
+  SatSolver S;
+  int A = S.newVar(), B = S.newVar();
+  S.addClause(mkLit(A), mkLit(B));
+  SatLimits L;
+  std::atomic<bool> Cancel{false};
+  L.Cancel = &Cancel;
+  EXPECT_EQ(S.solve(L), SatStatus::Sat);
+}
+
 TEST(Sat, IncrementalSolving) {
   SatSolver S;
   int A = S.newVar(), B = S.newVar(), C = S.newVar();

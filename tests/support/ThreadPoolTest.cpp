@@ -1,0 +1,136 @@
+//===- tests/support/ThreadPoolTest.cpp - Pool + cancellation tests ------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+using namespace alive::support;
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.numWorkers(), 4u);
+  std::atomic<unsigned> Ran{0};
+  for (unsigned I = 0; I < 100; ++I)
+    Pool.post([&Ran] { Ran.fetch_add(1, std::memory_order_relaxed); });
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 100u);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersMeansHardwareConcurrency) {
+  ThreadPool Pool(0);
+  EXPECT_GE(Pool.numWorkers(), 1u);
+}
+
+TEST(ThreadPoolTest, WaitReturnsImmediatelyWhenIdle) {
+  ThreadPool Pool(2);
+  Pool.wait(); // no tasks posted: must not block
+}
+
+TEST(ThreadPoolTest, FuturesCarryResults) {
+  ThreadPool Pool(4);
+  std::vector<std::future<unsigned>> Futs;
+  for (unsigned I = 0; I < 32; ++I)
+    Futs.push_back(Pool.submit([I] { return I * I; }));
+  for (unsigned I = 0; I < 32; ++I)
+    EXPECT_EQ(Futs[I].get(), I * I);
+}
+
+TEST(ThreadPoolTest, FuturesCarryExceptions) {
+  ThreadPool Pool(2);
+  std::future<int> Bad =
+      Pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(Bad.get(), std::runtime_error);
+  // The worker that ran the throwing task is still alive and scheduling.
+  EXPECT_EQ(Pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, NestedSubmitFromWorker) {
+  ThreadPool Pool(2);
+  std::atomic<unsigned> Ran{0};
+  Pool.post([&] {
+    Ran.fetch_add(1, std::memory_order_relaxed);
+    // Posting from inside a task targets the caller's own deque; wait()
+    // must cover the follow-up work too.
+    Pool.post([&Ran] { Ran.fetch_add(1, std::memory_order_relaxed); });
+  });
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 2u);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPopsOwnQueueLifo) {
+  // Pin the lone worker on a gate, queue four recorders, then open the
+  // gate: the worker pops its own deque from the back, so execution order
+  // is the reverse of submission order. (Steals are FIFO; this documents
+  // the LIFO own-queue half of the discipline.)
+  ThreadPool Pool(1);
+  std::promise<void> GatePromise, Started;
+  std::shared_future<void> Gate = GatePromise.get_future().share();
+  Pool.post([&Started, Gate] {
+    Started.set_value();
+    Gate.wait();
+  });
+  Started.get_future().wait(); // worker is inside the gate task
+  std::vector<unsigned> Order;
+  for (unsigned I = 0; I < 4; ++I)
+    Pool.post([&Order, I] { Order.push_back(I); });
+  GatePromise.set_value();
+  Pool.wait();
+  ASSERT_EQ(Order.size(), 4u);
+  EXPECT_EQ(Order, (std::vector<unsigned>{3, 2, 1, 0}));
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<unsigned> Ran{0};
+  {
+    ThreadPool Pool(1);
+    for (unsigned I = 0; I < 50; ++I)
+      Pool.post([&Ran] { Ran.fetch_add(1, std::memory_order_relaxed); });
+    // No wait(): destruction must still run every queued task.
+  }
+  EXPECT_EQ(Ran.load(), 50u);
+}
+
+TEST(ThreadPoolTest, CancellationTokenIsStickyUntilReset) {
+  CancellationToken Tok;
+  EXPECT_FALSE(Tok.isCancelled());
+  Tok.requestCancel();
+  EXPECT_TRUE(Tok.isCancelled());
+  Tok.requestCancel(); // idempotent
+  EXPECT_TRUE(Tok.isCancelled());
+  Tok.reset();
+  EXPECT_FALSE(Tok.isCancelled());
+}
+
+TEST(ThreadPoolTest, CancellationFlagIsStableAndLive) {
+  CancellationToken Tok;
+  const std::atomic<bool> *Flag = Tok.flag();
+  ASSERT_NE(Flag, nullptr);
+  EXPECT_EQ(Flag, Tok.flag()); // stable address for hot loops
+  EXPECT_FALSE(Flag->load(std::memory_order_relaxed));
+  Tok.requestCancel();
+  EXPECT_TRUE(Flag->load(std::memory_order_relaxed));
+}
+
+TEST(ThreadPoolTest, TasksObserveCancellationMidBatch) {
+  // Tasks poll the token the way Validator workers do: once the flag is
+  // up, remaining tasks skip their work.
+  ThreadPool Pool(2);
+  CancellationToken Tok;
+  std::atomic<unsigned> Skipped{0};
+  Tok.requestCancel();
+  for (unsigned I = 0; I < 16; ++I)
+    Pool.post([&] {
+      if (Tok.isCancelled())
+        Skipped.fetch_add(1, std::memory_order_relaxed);
+    });
+  Pool.wait();
+  EXPECT_EQ(Skipped.load(), 16u);
+}

@@ -14,7 +14,7 @@
 
 #include "corpus/Corpus.h"
 #include "ir/Parser.h"
-#include "refine/Refinement.h"
+#include "refine/Validator.h"
 
 #include <cstdio>
 #include <cstring>
@@ -35,12 +35,18 @@ int main(int argc, char **argv) {
       Generated = (unsigned)std::atoi(argv[++I]);
   }
 
+  if (std::string OptErr = Opts.validate(); !OptErr.empty()) {
+    std::fprintf(stderr, "error: invalid options: %s\n", OptErr.c_str());
+    return 2;
+  }
+
   std::vector<corpus::TestPair> Suite = corpus::unitTestSuite();
   if (Generated) {
     auto Gen = corpus::generatedSuite(Generated, 0xa11e);
     Suite.insert(Suite.end(), Gen.begin(), Gen.end());
   }
 
+  refine::Validator Validator(Opts);
   unsigned Agree = 0, Disagree = 0, Inconclusive = 0;
   for (const auto &P : Suite) {
     smt::resetContext();
@@ -48,7 +54,7 @@ int main(int argc, char **argv) {
     auto TgtM = ir::parseModuleOrDie(P.TgtIR);
     const ir::Function *SF = SrcM->function(SrcM->numFunctions() - 1);
     const ir::Function *TF = TgtM->functionByName(SF->name());
-    refine::Verdict V = refine::verifyRefinement(*SF, *TF, SrcM.get(), Opts);
+    refine::Verdict V = Validator.verifyPair(*SF, *TF, SrcM.get());
     bool FoundBug = V.isIncorrect();
     bool Conclusive = V.isCorrect() || V.isIncorrect();
     const char *Status;

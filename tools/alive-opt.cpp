@@ -15,7 +15,7 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "opt/Pass.h"
-#include "refine/Refinement.h"
+#include "refine/Validator.h"
 
 #include <cstdio>
 #include <cstring>
@@ -77,13 +77,20 @@ int main(int argc, char **argv) {
     return 2;
   }
 
+  if (std::string OptErr = Opts.validate(); !OptErr.empty()) {
+    std::fprintf(stderr, "error: invalid options: %s\n", OptErr.c_str());
+    return 2;
+  }
+
   int Failures = 0;
+  refine::Validator Validator(Opts);
   opt::TVHook Hook;
   if (TV) {
     ir::Module *MPtr = M.get();
     Hook = [&](const ir::Function &Before, const ir::Function &After,
                const std::string &PassName) {
-      refine::Verdict V = refine::verifyRefinement(Before, After, MPtr, Opts);
+      smt::resetContext();
+      refine::Verdict V = Validator.verifyPair(Before, After, MPtr);
       if (V.isCorrect())
         return;
       ++Failures;

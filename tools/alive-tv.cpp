@@ -7,13 +7,13 @@
 /// The standalone tool of Section 8.1: takes two textual IR files and
 /// checks refinement between every function name present in both.
 ///
-///   alive-tv src.ll tgt.ll [--unroll N] [--timeout SEC] [--equivalence]
-///            [--stats] [--json] [--trace-out FILE]
+///   alive-tv src.ll tgt.ll [-j N] [--unroll N] [--timeout SEC]
+///            [--equivalence] [--stats] [--json] [--trace-out FILE]
 ///
 //===----------------------------------------------------------------------===//
 
 #include "ir/Parser.h"
-#include "refine/Refinement.h"
+#include "refine/Validator.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 
@@ -36,26 +36,25 @@ static bool readFile(const char *Path, std::string &Out) {
   return true;
 }
 
-/// Parses a strictly positive integer; rejects trailing garbage ("3x"),
-/// signs going negative, and zero. atoi would silently yield 0 or stop at
-/// the first non-digit.
-static bool parsePositiveInt(const char *S, unsigned &Out) {
+/// Parses a non-negative integer; rejects trailing garbage ("3x") and
+/// negative values. Semantic range checks (e.g. a zero unroll factor) are
+/// Options::validate()'s job, not the flag parser's.
+static bool parseUnsigned(const char *S, unsigned &Out) {
   errno = 0;
   char *End = nullptr;
   long V = std::strtol(S, &End, 10);
-  if (End == S || *End != '\0' || errno == ERANGE || V <= 0 ||
-      V > 0x7fffffff)
+  if (End == S || *End != '\0' || errno == ERANGE || V < 0 || V > 0x7fffffff)
     return false;
   Out = (unsigned)V;
   return true;
 }
 
-/// Parses a strictly positive decimal number (seconds).
-static bool parsePositiveDouble(const char *S, double &Out) {
+/// Parses a decimal number (seconds); range-checked by Options::validate().
+static bool parseDouble(const char *S, double &Out) {
   errno = 0;
   char *End = nullptr;
   double V = std::strtod(S, &End);
-  if (End == S || *End != '\0' || errno == ERANGE || !(V > 0))
+  if (End == S || *End != '\0' || errno == ERANGE)
     return false;
   Out = V;
   return true;
@@ -63,9 +62,11 @@ static bool parsePositiveDouble(const char *S, double &Out) {
 
 static void usage() {
   std::fprintf(stderr,
-               "usage: alive-tv <src.ll> <tgt.ll> [--unroll N] "
+               "usage: alive-tv <src.ll> <tgt.ll> [-j N] [--unroll N] "
                "[--timeout SEC] [--equivalence]\n"
                "                [--stats] [--json] [--trace-out FILE]\n"
+               "  -j N             verify pairs on N parallel workers "
+               "(0 = one per hardware thread)\n"
                "  --stats          print the statistics registry after "
                "verification\n"
                "  --json           emit a machine-readable per-pair summary "
@@ -103,24 +104,30 @@ int main(int argc, char **argv) {
   const char *SrcPath = nullptr, *TgtPath = nullptr;
   const char *TraceOut = nullptr;
   bool ShowStats = false, Json = false;
+  unsigned Jobs = 1;
   refine::Options Opts;
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--unroll") && I + 1 < argc) {
       const char *Arg = argv[++I];
-      if (!parsePositiveInt(Arg, Opts.UnrollFactor)) {
+      if (!parseUnsigned(Arg, Opts.UnrollFactor)) {
         std::fprintf(stderr,
-                     "error: --unroll expects a positive integer, got '%s'\n",
-                     Arg);
+                     "error: --unroll expects an integer, got '%s'\n", Arg);
         return 2;
       }
     } else if (!std::strcmp(argv[I], "--timeout") && I + 1 < argc) {
       const char *Arg = argv[++I];
-      if (!parsePositiveDouble(Arg, Opts.Budget.TimeoutSec)) {
+      if (!parseDouble(Arg, Opts.Budget.TimeoutSec)) {
         std::fprintf(
             stderr,
-            "error: --timeout expects a positive number of seconds, got "
-            "'%s'\n",
-            Arg);
+            "error: --timeout expects a number of seconds, got '%s'\n", Arg);
+        return 2;
+      }
+    } else if ((!std::strcmp(argv[I], "-j") ||
+                !std::strcmp(argv[I], "--jobs")) &&
+               I + 1 < argc) {
+      const char *Arg = argv[++I];
+      if (!parseUnsigned(Arg, Jobs)) {
+        std::fprintf(stderr, "error: -j expects an integer, got '%s'\n", Arg);
         return 2;
       }
     } else if (!std::strcmp(argv[I], "--equivalence")) {
@@ -133,6 +140,8 @@ int main(int argc, char **argv) {
       TraceOut = argv[++I];
     } else if (!std::strcmp(argv[I], "--unroll") ||
                !std::strcmp(argv[I], "--timeout") ||
+               !std::strcmp(argv[I], "-j") ||
+               !std::strcmp(argv[I], "--jobs") ||
                !std::strcmp(argv[I], "--trace-out")) {
       std::fprintf(stderr, "error: %s requires a value\n", argv[I]);
       return 2;
@@ -152,6 +161,10 @@ int main(int argc, char **argv) {
   }
   if (!SrcPath || !TgtPath) {
     usage();
+    return 2;
+  }
+  if (std::string Err = Opts.validate(); !Err.empty()) {
+    std::fprintf(stderr, "error: invalid options: %s\n", Err.c_str());
     return 2;
   }
 
@@ -185,14 +198,16 @@ int main(int argc, char **argv) {
         .num("src_bytes", SrcText.size())
         .num("tgt_bytes", TgtText.size());
 
-  auto Results = refine::verifyModules(*SrcM, *TgtM, Opts);
+  refine::Validator Validator(Opts);
+  auto Results = Validator.verifyModules(*SrcM, *TgtM, Jobs);
   int Failures = 0;
   if (Json) {
     std::printf("{\n  \"src\": \"%s\",\n  \"tgt\": \"%s\",\n  \"pairs\": [\n",
                 trace::jsonEscape(SrcPath).c_str(),
                 trace::jsonEscape(TgtPath).c_str());
     bool First = true;
-    for (const auto &[Name, V] : Results) {
+    for (const auto &[Name, Index, V] : Results) {
+      (void)Index;
       if (V.isIncorrect())
         ++Failures;
       if (!First)
@@ -202,7 +217,8 @@ int main(int argc, char **argv) {
     }
     std::printf("\n  ]\n}\n");
   } else {
-    for (const auto &[Name, V] : Results) {
+    for (const auto &[Name, Index, V] : Results) {
+      (void)Index;
       std::printf("---- @%s ----\n", Name.c_str());
       switch (V.Kind) {
       case refine::VerdictKind::Correct:
