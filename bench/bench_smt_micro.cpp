@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "smt/ExistsForall.h"
+#include "support/Profile.h"
 
 #include <benchmark/benchmark.h>
 
@@ -106,5 +107,51 @@ static void BM_MonolithicQuery(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_MonolithicQuery);
+
+/// Profiling overhead on the disabled path. Every instrumented phase pays
+/// one prof::Span per entry, so the disabled cost (one relaxed atomic load
+/// in the constructor, one branch in the destructor) is the price the whole
+/// pipeline pays when --profile is off. The acceptance bar is <= 3% on
+/// solver-bound work; compare BM_BitblastSolveAddProfiled against
+/// BM_BitblastSolveAdd at the same width for the enabled-path cost.
+static void BM_ProfileSpanDisabled(benchmark::State &State) {
+  prof::stop();
+  for (auto _ : State) {
+    prof::Span S("bench_disabled");
+    benchmark::DoNotOptimize(S.id());
+  }
+}
+BENCHMARK(BM_ProfileSpanDisabled);
+
+static void BM_ProfileSpanEnabled(benchmark::State &State) {
+  prof::start();
+  for (auto _ : State) {
+    prof::Span S("bench_enabled");
+    benchmark::DoNotOptimize(S.id());
+    // Keep the record buffer from growing unboundedly over iterations.
+    if (State.iterations() % 4096 == 0)
+      prof::clear();
+  }
+  prof::stop();
+  prof::clear();
+}
+BENCHMARK(BM_ProfileSpanEnabled);
+
+static void BM_BitblastSolveAddProfiled(benchmark::State &State) {
+  unsigned W = 32;
+  prof::start();
+  for (auto _ : State) {
+    resetContext();
+    prof::clear();
+    Expr X = mkVar("x", W), Y = mkVar("y", W), Z = mkVar("z", W);
+    Expr Q = mkNe(mkAdd(mkAdd(X, Y), Z), mkAdd(X, mkAdd(Y, Z)));
+    SolveOutcome R = checkSat(Q);
+    if (!R.isUnsat())
+      State.SkipWithError("expected unsat");
+  }
+  prof::stop();
+  prof::clear();
+}
+BENCHMARK(BM_BitblastSolveAddProfiled);
 
 BENCHMARK_MAIN();

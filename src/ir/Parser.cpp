@@ -6,6 +6,7 @@
 
 #include "ir/Parser.h"
 #include "ir/Lexer.h"
+#include "support/Profile.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -1097,6 +1098,7 @@ void ParserImpl::finishFunction() {
 } // namespace
 
 std::unique_ptr<Module> ir::parseModule(const std::string &Text, Diag &Err) {
+  prof::Span ProfSpan("parse");
   ParserImpl P(Text, Err);
   return P.run();
 }

@@ -10,6 +10,7 @@
 #include "refine/Validator.h"
 #include "sema/Encoder.h"
 #include "smt/ExistsForall.h"
+#include "support/Profile.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 #include "transform/Unroll.h"
@@ -173,6 +174,7 @@ private:
 std::optional<Verdict>
 RefinementCheck::runQuery(const std::string &CheckName,
                           std::vector<Expr> ExtraOuter, Expr ExtraPhi) {
+  prof::Span ProfSpan("staged_query", CheckName);
   ++Queries;
   ALIVE_STAT_COUNTER(QueryCount, "refine.queries");
   QueryCount.inc();
@@ -358,6 +360,7 @@ Verdict RefinementCheck::run() {
 
   // Step 1: the preconditions must not be vacuously false.
   {
+    prof::Span ProfSpan("staged_query", "precondition");
     if (debugEnabled())
       fprintf(stderr, "[refine] step1 precondition check\n");
     ++Queries;
@@ -516,7 +519,9 @@ Verdict refine::detail::checkPair(const Function &Src, const Function &Tgt,
                                   const Module *M, const Options &Opts) {
   ALIVE_STAT_COUNTER(Pairs, "refine.pairs");
   Pairs.inc();
-  stats::ScopedTimer Timer("time.verify");
+  prof::Span ProfSpan("verify_pair", Src.name());
+  ALIVE_STAT_SAMPLER(VerifyTime, "time.verify");
+  stats::ScopedTimer Timer(VerifyTime);
   RefinementCheck C(Src, Tgt, M, Opts);
   Verdict V = C.run();
   if (trace::enabled())

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "refine/Validator.h"
+#include "support/Profile.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 
@@ -113,6 +114,7 @@ Validator::verifyBatch(const std::vector<PairTask> &Tasks, unsigned Jobs) {
   }
   ALIVE_STAT_COUNTER(Batches, "validator.batches");
   Batches.inc();
+  prof::Span BatchSpan("verify_batch");
   if (trace::enabled())
     trace::Event("batch")
         .num("pairs", Tasks.size())
@@ -126,11 +128,17 @@ Validator::verifyBatch(const std::vector<PairTask> &Tasks, unsigned Jobs) {
 
   if (!Pool || Pool->numWorkers() != Jobs)
     Pool = std::make_unique<support::ThreadPool>(Jobs);
+  // Captured once at fan-out and adopted by each worker, so every per-pair
+  // span (and its whole subtree) parents under this batch span even though
+  // it runs on another thread.
+  prof::Context Ctx = prof::capture();
   std::vector<std::future<void>> Futures;
   Futures.reserve(Tasks.size());
   for (size_t I = 0; I < Tasks.size(); ++I)
-    Futures.push_back(Pool->submit(
-        [this, &Tasks, &Out, I] { runTask(Tasks[I], (unsigned)I, Out[I]); }));
+    Futures.push_back(Pool->submit([this, &Tasks, &Out, I, Ctx] {
+      prof::Adopt Adopt(Ctx);
+      runTask(Tasks[I], (unsigned)I, Out[I]);
+    }));
   for (std::future<void> &F : Futures)
     F.get();
   return Out;

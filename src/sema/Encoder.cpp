@@ -6,6 +6,7 @@
 
 #include "sema/Encoder.h"
 #include "analysis/Cfg.h"
+#include "support/Profile.h"
 #include "support/Stats.h"
 
 #include <cassert>
@@ -1345,7 +1346,11 @@ sema::encodeFunction(const Function &F, const MemoryLayout &L,
                      const EncodeOptions &Opts) {
   ALIVE_STAT_COUNTER(Functions, "encode.functions");
   Functions.inc();
-  stats::ScopedTimer Timer("time.encode");
+  // Detail = encoding tag: the src/srcI/tgt copies show up separately in
+  // the Chrome trace while aggregating as one "encode" phase.
+  prof::Span ProfSpan("encode", Opts.Tag);
+  ALIVE_STAT_SAMPLER(EncodeTime, "time.encode");
+  stats::ScopedTimer Timer(EncodeTime);
   Encoder E(F, L, Sinks, Opts);
   return E.run();
 }

@@ -6,6 +6,7 @@
 
 #include "sema/Memory.h"
 
+#include "support/Profile.h"
 #include "support/Stats.h"
 
 #include <cassert>
@@ -37,6 +38,7 @@ static unsigned countPtrArgs(const Function &F) {
 
 MemoryLayout MemoryLayout::compute(const Function &Src, const Function &Tgt,
                                    const Module *M) {
+  prof::Span ProfSpan("memory_layout");
   MemoryLayout L;
   L.Blocks.push_back(
       {Block::Kind::Null, 0, "null", 0, mkBV(64, 0), true});

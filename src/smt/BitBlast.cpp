@@ -6,6 +6,8 @@
 
 #include "smt/BitBlast.h"
 
+#include "support/Profile.h"
+
 #include <cassert>
 
 using namespace alive;
@@ -245,6 +247,10 @@ Lit BitBlaster::equalVec(const std::vector<Lit> &A,
 //===----------------------------------------------------------------------===//
 
 void BitBlaster::assertTrue(Expr E) {
+  // One span per asserted formula: CNF lowering of an assertion is the
+  // unit of bit-blasting work worth attributing (per-node spans would
+  // swamp the profile).
+  prof::Span ProfSpan("bitblast");
   Lit L = blastBool(E);
   clause({L});
 }

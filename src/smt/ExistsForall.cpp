@@ -7,6 +7,7 @@
 #include "smt/ExistsForall.h"
 
 #include "support/Diag.h"
+#include "support/Profile.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 
@@ -337,6 +338,9 @@ bool modelInvolvesApp(const EFQuery &Query, const Model &M,
 EFOutcome smt::solveExistsForall(const EFQuery &Query,
                                  const SolverBudget &Budget) {
   EFOutcome Out;
+  // Constructed before the TraceEmitter so the "ef_query" trace event
+  // (emitted in the Emitter's destructor) still carries this span's id.
+  prof::Span ProfSpan("ef_search");
   Stopwatch Timer;
   ALIVE_STAT_COUNTER(Queries, "ef.queries");
   Queries.inc();
@@ -455,6 +459,8 @@ EFOutcome smt::solveExistsForall(const EFQuery &Query,
   auto runPhase = [&](Solver &OuterSolver, unsigned MaxIterations) -> Phase {
     size_t NextBlocking = 0;
     for (unsigned Iter = 0; Iter < MaxIterations; ++Iter) {
+      // One span per CEGIS round (outer check + witness check).
+      prof::Span IterSpan("ef_iteration");
       ++Out.Iterations;
       ALIVE_STAT_COUNTER(Iterations, "ef.iterations");
       Iterations.inc();

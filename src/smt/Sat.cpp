@@ -6,6 +6,7 @@
 
 #include "smt/Sat.h"
 
+#include "support/Profile.h"
 #include "support/Stats.h"
 
 #include <algorithm>
@@ -365,6 +366,9 @@ uint64_t SatSolver::lubySequence(uint64_t I) {
 }
 
 SatStatus SatSolver::solve(const SatLimits &Limits) {
+  // Span first, flusher second: the flusher's destructor runs before the
+  // span's, so the span observes this solve's per-thread tally deltas.
+  prof::Span ProfSpan("sat_solve");
   // Flush this solve's effort deltas into the global registry on every exit
   // path. The search loop itself only touches plain members.
   struct StatFlusher {
@@ -391,6 +395,14 @@ SatStatus SatSolver::solve(const SatLimits &Limits) {
       H.Restarts.inc(S.Restarts - R0);
       H.Learned.inc(S.LearnedClauses - L0);
       H.Reductions.inc(S.DbReductions - Red0);
+      // Same deltas into the per-thread profiling tally: plain adds, so
+      // span attribution stays exact under -j N (a pair never migrates
+      // between threads).
+      prof::Tally &T = prof::tally();
+      T.Conflicts += S.Conflicts - C0;
+      T.Decisions += S.Decisions - D0;
+      T.Propagations += S.Propagations - P0;
+      ++T.SatChecks;
     }
   } Flusher{*this};
 

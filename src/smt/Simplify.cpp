@@ -6,6 +6,7 @@
 
 #include "smt/Simplify.h"
 
+#include "support/Profile.h"
 #include "support/Stats.h"
 
 #include <algorithm>
@@ -468,6 +469,9 @@ Expr smt::detail::fold(Node N) {
   if (Expr R = foldRules(N); R.isValid()) {
     ALIVE_STAT_COUNTER(Rewrites, "simplify.rewrites");
     Rewrites.inc();
+    // Thread-local profiling tally: lets spans attribute simplifier work
+    // to the phase that built the expressions (encode vs. search).
+    ++prof::tally().Rewrites;
     return R;
   }
   return intern(std::move(N));

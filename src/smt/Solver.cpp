@@ -6,6 +6,7 @@
 
 #include "smt/Solver.h"
 
+#include "support/Profile.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 
@@ -110,6 +111,9 @@ void Solver::flushBlastStats() {
 }
 
 SolveOutcome Solver::check(const SolverBudget &Budget) {
+  // Child sat_solve spans cover the CDCL core; this span's self time is
+  // model extraction plus telemetry flushing.
+  prof::Span ProfSpan("sat_check");
   ALIVE_STAT_COUNTER(Checks, "solver.checks");
   Checks.inc();
   flushBlastStats();

@@ -1,0 +1,196 @@
+//===- support/Profile.h - Hierarchical thread-aware profiling --*- C++ -*-==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An RAII span subsystem attributing wall time and solver effort to the
+/// phases of the verification pipeline (the telemetry behind the paper's
+/// Figures 7-8 breakdowns). Each thread keeps a thread_local stack of open
+/// spans, so spans nest naturally:
+///
+///   verify_pair > unroll / encode / staged_query > ef_iteration > sat_check
+///
+/// A span records its wall time (steady clock) plus deltas of the
+/// per-thread effort tally (SAT conflicts / decisions / propagations,
+/// simplifier rewrites, SAT checks) between construction and destruction,
+/// so solver work is *attributed* to the phase that incurred it. The tally
+/// is thread_local and a pair is verified entirely on one thread (see
+/// refine::Validator), so attribution stays exact under `-j N`; deltas are
+/// inclusive of child spans.
+///
+/// Spans cross ThreadPool/Validator job boundaries explicitly: the
+/// submitting thread captures a Context (current span id + path) at
+/// fan-out, and the worker installs it with an Adopt guard, making the
+/// batch span the parent of every per-pair span it spawned.
+///
+/// Everything is disabled by default. A disabled Span costs one relaxed
+/// atomic load; the tally increments are unconditional plain thread_local
+/// adds (cheaper than the stats registry's atomics on the same paths).
+///
+/// Consumers (see also tools/check_trace.py and DESIGN.md):
+///  * writeChromeTrace() - Chrome trace-event JSON, loadable in Perfetto /
+///    chrome://tracing, one track per worker thread;
+///  * table() / aggregate() - per-phase count / total / mean / max / self
+///    wall seconds (self = total minus time in child spans);
+///  * setSlowQueryMs() - dumps the full span path and counter deltas of
+///    any staged_query span exceeding the threshold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE2RE_SUPPORT_PROFILE_H
+#define ALIVE2RE_SUPPORT_PROFILE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alive::prof {
+
+/// True while spans are being collected. Relaxed atomic load.
+bool enabled();
+
+/// Clears collected records, resets the epoch and enables collection.
+void start();
+
+/// Stops collection; records already gathered remain for the consumers.
+void stop();
+
+/// Drops every collected record (collection state unchanged).
+void clear();
+
+/// Dense per-thread id (0, 1, 2, ... in first-use order), independent of
+/// profiling state. Shared with trace::Event's "tid" field so JSONL traces
+/// and Chrome tracks agree.
+unsigned threadId();
+
+/// Per-thread running totals of solver effort, bumped unconditionally by
+/// the instrumented layers (SatSolver::solve, Simplify's fold). Spans
+/// snapshot this at both ends; the difference is the span's attribution.
+struct Tally {
+  uint64_t Conflicts = 0;
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+  uint64_t Rewrites = 0;
+  uint64_t SatChecks = 0;
+};
+Tally &tally();
+
+/// One completed span.
+struct SpanRecord {
+  uint64_t Id = 0;
+  /// Enclosing span (same thread, or adopted across a job boundary);
+  /// 0 = top level.
+  uint64_t Parent = 0;
+  /// Static phase name ("verify_pair", "staged_query", ...).
+  const char *Name = "";
+  /// Dynamic label: function name, staged-check name, ... (may be empty).
+  std::string Detail;
+  unsigned Tid = 0;
+  /// Start, seconds since the start() epoch.
+  double StartSec = 0;
+  double DurSec = 0;
+  /// Tally deltas over the span's lifetime (inclusive of children).
+  uint64_t Conflicts = 0;
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+  uint64_t Rewrites = 0;
+  uint64_t SatChecks = 0;
+};
+
+/// RAII span. Construction is one relaxed load when profiling is disabled;
+/// the detail string is only copied when enabled.
+class Span {
+public:
+  explicit Span(const char *Name) : Span(Name, std::string_view()) {}
+  Span(const char *Name, std::string_view Detail);
+  ~Span();
+
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+  /// This span's id, 0 when profiling was disabled at construction.
+  uint64_t id() const { return SpanId; }
+
+private:
+  bool On;
+  uint64_t SpanId = 0;
+  uint64_t ParentId = 0;
+  const char *Name = "";
+  std::string Detail;
+  double Start = 0;
+  Tally At0;
+};
+
+/// Innermost open span on this thread (or the adopted parent when the
+/// thread's own stack is empty); 0 when none. Feeds trace::Event's "span"
+/// field.
+uint64_t currentSpanId();
+
+/// Captured span context for cross-thread propagation: take it on the
+/// submitting thread, install it on the worker with Adopt.
+struct Context {
+  uint64_t SpanId = 0;
+  /// ">"-joined names of the open spans, used by the slow-query log so a
+  /// worker-side path still shows its batch-side prefix.
+  std::string Path;
+};
+Context capture();
+
+/// RAII guard installing a captured Context as this thread's inherited
+/// parent; restores the previous inheritance on destruction (workers are
+/// reused across jobs).
+class Adopt {
+public:
+  explicit Adopt(const Context &Ctx);
+  ~Adopt();
+
+  Adopt(const Adopt &) = delete;
+  Adopt &operator=(const Adopt &) = delete;
+
+private:
+  uint64_t PrevSpan;
+  std::string PrevPath;
+};
+
+/// Slow-query log: any "staged_query" span whose duration meets \p Ms
+/// milliseconds dumps its full span path and tally deltas when it ends.
+/// Negative disables (the default).
+void setSlowQueryMs(double Ms);
+
+/// Redirects the slow-query log (test hook); nullptr restores stderr.
+void setSlowQueryStream(std::ostream *OS);
+
+/// Copy of every completed span so far.
+std::vector<SpanRecord> snapshot();
+
+/// Per-phase aggregation of the collected spans.
+struct PhaseAgg {
+  std::string Name;
+  uint64_t Count = 0;
+  double TotalSec = 0;
+  double MeanSec = 0;
+  double MaxSec = 0;
+  /// Total minus time spent in child spans (clamped at 0: children of a
+  /// parallel batch span can sum past their parent's wall time).
+  double SelfSec = 0;
+  uint64_t Conflicts = 0;
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+};
+std::vector<PhaseAgg> aggregate();
+
+/// Human-readable per-phase table of aggregate() (--profile output).
+std::string table();
+
+/// Writes the collected spans as Chrome trace-event JSON (one complete "X"
+/// event per span, one track per thread), loadable in Perfetto or
+/// chrome://tracing. \returns false when the file cannot be opened.
+bool writeChromeTrace(const std::string &Path);
+
+} // namespace alive::prof
+
+#endif // ALIVE2RE_SUPPORT_PROFILE_H

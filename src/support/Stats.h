@@ -138,11 +138,17 @@ inline Sampler sampler(const std::string &Name) {
 }
 
 /// RAII wall-clock timer: records the enclosing scope's duration (seconds)
-/// as one sample of the distribution \p Name.
+/// as one sample of a distribution. Prefer the Sampler overload with a
+/// cached ALIVE_STAT_SAMPLER handle — it records without any name lookup,
+/// the documented fast path. The name overload resolves the handle once at
+/// construction (the destructor never pays a map lookup under the registry
+/// mutex).
 class ScopedTimer {
 public:
-  explicit ScopedTimer(const char *Name) : Name(Name) {}
-  ~ScopedTimer() { Registry::get().addSample(Name, Watch.seconds()); }
+  explicit ScopedTimer(Sampler Dist) : Dist(Dist) {}
+  explicit ScopedTimer(const char *Name)
+      : Dist(Registry::get().sampler(Name)) {}
+  ~ScopedTimer() { Dist.record(Watch.seconds()); }
 
   ScopedTimer(const ScopedTimer &) = delete;
   ScopedTimer &operator=(const ScopedTimer &) = delete;
@@ -150,7 +156,7 @@ public:
   double seconds() const { return Watch.seconds(); }
 
 private:
-  const char *Name;
+  Sampler Dist;
   Stopwatch Watch;
 };
 

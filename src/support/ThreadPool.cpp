@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/ThreadPool.h"
+#include "support/Profile.h"
 
 using namespace alive;
 using namespace alive::support;
@@ -78,6 +79,9 @@ bool ThreadPool::popTask(unsigned Self, std::function<void()> &Out) {
 void ThreadPool::workerLoop(unsigned Self) {
   CurrentPool = this;
   CurrentWorker = Self;
+  // Claim a profiler thread id up front so workers own the low, dense ids
+  // (stable Perfetto track order) regardless of which one runs a task first.
+  prof::threadId();
   std::unique_lock<std::mutex> Lock(Mu);
   while (true) {
     std::function<void()> Task;

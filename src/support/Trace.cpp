@@ -7,6 +7,7 @@
 #include "support/Trace.h"
 
 #include "support/Diag.h"
+#include "support/Profile.h"
 
 #include <atomic>
 #include <cinttypes>
@@ -106,8 +107,13 @@ Event::Event(const char *Kind) : On(enabled()) {
     if (Epoch)
       T = Epoch->seconds();
   }
-  char Head[96];
-  std::snprintf(Head, sizeof Head, "{\"event\":\"%s\",\"t\":%.6f", Kind, T);
+  // Every event carries the emitting thread ("tid", dense per-thread ids
+  // shared with the profiler's Chrome tracks) and the innermost profiling
+  // span ("span", 0 when none), so JSONL lines from `-j N` runs correlate.
+  char Head[160];
+  std::snprintf(Head, sizeof Head,
+                "{\"event\":\"%s\",\"t\":%.6f,\"tid\":%u,\"span\":%" PRIu64,
+                Kind, T, prof::threadId(), prof::currentSpanId());
   Buf = Head;
 }
 

@@ -11,11 +11,14 @@
 /// default; when no sink is attached, enabled() is a relaxed atomic load so
 /// instrumented call sites cost one predictable branch.
 ///
-/// Every event carries "event" (its kind) and "t" (seconds since the sink
-/// was attached); remaining fields are event-specific. Field values are
-/// strings, numbers or booleans — nesting is deliberately unsupported so
-/// every consumer can stream-parse line by line. See the "Observability"
-/// section of DESIGN.md for the schema of each event kind.
+/// Every event carries "event" (its kind), "t" (seconds since the sink
+/// was attached), "tid" (dense per-thread id, shared with the profiler's
+/// Chrome tracks) and "span" (innermost prof::Span id, 0 when none), so
+/// interleaved lines from `alive-tv -j N` runs stay attributable;
+/// remaining fields are event-specific. Field values are strings, numbers
+/// or booleans — nesting is deliberately unsupported so every consumer can
+/// stream-parse line by line. See the "Observability" section of DESIGN.md
+/// for the schema of each event kind.
 ///
 /// Usage at an instrumented site:
 ///

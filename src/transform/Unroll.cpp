@@ -7,6 +7,7 @@
 #include "transform/Unroll.h"
 #include "analysis/Dominators.h"
 #include "analysis/LoopForest.h"
+#include "support/Profile.h"
 
 #include <cassert>
 #include <unordered_map>
@@ -341,6 +342,7 @@ BasicBlock *LoopUnroller::run() {
 
 UnrollResult transform::unrollLoops(Function &F, unsigned Factor) {
   assert(Factor >= 1 && "unroll factor must be at least 1");
+  prof::Span ProfSpan("unroll", F.name());
   UnrollResult Result;
   // Unroll one innermost loop at a time, recomputing the forest: unrolled
   // copies contain no back edges, so the loop count strictly decreases and

@@ -1,0 +1,23 @@
+; Four independent pairs so an `alive-tv -j 4` run exercises every worker
+; (the trace/profile ctest checks one Chrome track per worker thread).
+define i8 @add_sub(i8 %a, i8 %b) {
+entry:
+  %x = add i8 %a, %b
+  %y = sub i8 %x, %b
+  ret i8 %y
+}
+define i8 @xor_self(i8 %a) {
+entry:
+  %x = xor i8 %a, %a
+  ret i8 %x
+}
+define i8 @mul_two(i8 %a) {
+entry:
+  %x = mul i8 %a, 2
+  ret i8 %x
+}
+define i1 @and_both(i1 %x, i1 %y) {
+entry:
+  %r = and i1 %x, %y
+  ret i1 %r
+}

@@ -1,0 +1,19 @@
+; Refining targets for multi_src.ll (all four pairs are correct).
+define i8 @add_sub(i8 %a, i8 %b) {
+entry:
+  ret i8 %a
+}
+define i8 @xor_self(i8 %a) {
+entry:
+  ret i8 0
+}
+define i8 @mul_two(i8 %a) {
+entry:
+  %x = shl i8 %a, 1
+  ret i8 %x
+}
+define i1 @and_both(i1 %x, i1 %y) {
+entry:
+  %r = and i1 %y, %x
+  ret i1 %r
+}

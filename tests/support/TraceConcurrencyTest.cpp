@@ -1,0 +1,132 @@
+//===- tests/support/TraceConcurrencyTest.cpp -------------------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+// Tier-2 ("concurrency" label) test: many ThreadPool workers emitting
+// trace::Events into one sink concurrently. Every line must come out atomic
+// — one complete JSON object, never interleaved with another thread's — and
+// the tid field must identify the emitting worker. Run under TSan in the
+// tier-2 configuration.
+//===----------------------------------------------------------------------===//
+
+#include "support/Profile.h"
+#include "support/ThreadPool.h"
+#include "support/Trace.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace alive;
+
+namespace {
+
+std::vector<std::string> lines(const std::ostringstream &SS) {
+  std::vector<std::string> Out;
+  std::istringstream In(SS.str());
+  std::string L;
+  while (std::getline(In, L))
+    Out.push_back(L);
+  return Out;
+}
+
+TEST(TraceConcurrency, WorkerEventsStayAtomic) {
+  constexpr unsigned Workers = 4;
+  constexpr unsigned EventsPerTask = 50;
+  constexpr unsigned Tasks = 16;
+
+  std::ostringstream SS;
+  trace::setStream(&SS);
+  {
+    support::ThreadPool Pool(Workers);
+    for (unsigned T = 0; T < Tasks; ++T)
+      Pool.post([T] {
+        for (unsigned I = 0; I < EventsPerTask; ++I)
+          trace::Event("worker_event")
+              .num("task", T)
+              .num("i", I)
+              .str("payload", "quoted \"text\" with\nnewline");
+      });
+    Pool.wait();
+  }
+  trace::setStream(nullptr);
+
+  auto Ls = lines(SS);
+  ASSERT_EQ(Ls.size(), (size_t)Tasks * EventsPerTask);
+  std::set<unsigned long> Tids;
+  for (const std::string &L : Ls) {
+    // Atomicity: each line is exactly one complete object with the schema
+    // header; a torn write would break one of these.
+    EXPECT_EQ(L.rfind("{\"event\":\"worker_event\",\"t\":", 0), 0u) << L;
+    EXPECT_EQ(L.back(), '}') << L;
+    EXPECT_EQ(std::count(L.begin(), L.end(), '{'), 1) << L;
+    EXPECT_EQ(std::count(L.begin(), L.end(), '}'), 1) << L;
+    EXPECT_NE(L.find("\"payload\":\"quoted \\\"text\\\" with\\nnewline\""),
+              std::string::npos)
+        << L;
+    size_t P = L.find("\"tid\":");
+    ASSERT_NE(P, std::string::npos) << L;
+    Tids.insert(std::strtoul(L.c_str() + P + 6, nullptr, 10));
+  }
+  // At least one worker emitted (usually several; work stealing makes the
+  // exact count scheduling-dependent, especially on one core).
+  EXPECT_GE(Tids.size(), 1u);
+  // Every (task, i) pair arrived exactly once.
+  std::set<std::pair<unsigned long, unsigned long>> Seen;
+  for (const std::string &L : Ls) {
+    size_t PT = L.find("\"task\":"), PI = L.find("\"i\":");
+    ASSERT_NE(PT, std::string::npos);
+    ASSERT_NE(PI, std::string::npos);
+    Seen.insert({std::strtoul(L.c_str() + PT + 7, nullptr, 10),
+                 std::strtoul(L.c_str() + PI + 4, nullptr, 10)});
+  }
+  EXPECT_EQ(Seen.size(), (size_t)Tasks * EventsPerTask);
+}
+
+TEST(TraceConcurrency, SpansAttributeAcrossWorkers) {
+  // Concurrent spans + events: worker events inherit the adopted batch span
+  // as an ancestor, and concurrent span records all get collected.
+  prof::start();
+  std::ostringstream SS;
+  trace::setStream(&SS);
+  uint64_t BatchId;
+  {
+    prof::Span Batch("test_batch");
+    BatchId = Batch.id();
+    ASSERT_NE(BatchId, 0u);
+    prof::Context Ctx = prof::capture();
+    support::ThreadPool Pool(4);
+    for (unsigned T = 0; T < 8; ++T)
+      Pool.post([Ctx, T] {
+        prof::Adopt Adopt(Ctx);
+        prof::Span S("test_task");
+        trace::Event("task_event").num("task", T);
+      });
+    Pool.wait();
+  }
+  trace::setStream(nullptr);
+  prof::stop();
+
+  std::vector<prof::SpanRecord> Rs = prof::snapshot();
+  prof::clear();
+  unsigned TaskSpans = 0;
+  for (const prof::SpanRecord &R : Rs)
+    if (std::string_view(R.Name) == "test_task") {
+      ++TaskSpans;
+      EXPECT_EQ(R.Parent, BatchId);
+    }
+  EXPECT_EQ(TaskSpans, 8u);
+
+  // Every worker event carries a non-zero span id (its own test_task span).
+  for (const std::string &L : lines(SS))
+    if (L.find("\"event\":\"task_event\"") != std::string::npos) {
+      EXPECT_EQ(L.find("\"span\":0,"), std::string::npos) << L;
+    }
+}
+
+} // namespace

@@ -1,0 +1,145 @@
+//===- tests/support/TraceTest.cpp ------------------------------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+// Focused tests for the JSONL trace layer: jsonEscape edge cases (control
+// characters, quote/backslash runs, UTF-8 passthrough) and the mandatory
+// "tid"/"span" attribution fields every event carries since the profiling
+// subsystem landed.
+//===----------------------------------------------------------------------===//
+
+#include "support/Profile.h"
+#include "support/Trace.h"
+
+#include "gtest/gtest.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace alive;
+
+namespace {
+
+std::vector<std::string> lines(const std::ostringstream &SS) {
+  std::vector<std::string> Out;
+  std::istringstream In(SS.str());
+  std::string L;
+  while (std::getline(In, L))
+    Out.push_back(L);
+  return Out;
+}
+
+// ---- jsonEscape edge cases ------------------------------------------------
+
+TEST(TraceEscape, EmptyString) { EXPECT_EQ(trace::jsonEscape(""), ""); }
+
+TEST(TraceEscape, NamedControlEscapes) {
+  EXPECT_EQ(trace::jsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(trace::jsonEscape("a\rb"), "a\\rb");
+  EXPECT_EQ(trace::jsonEscape("a\tb"), "a\\tb");
+}
+
+TEST(TraceEscape, NumericControlEscapes) {
+  // Everything below 0x20 without a short form goes through \u00XX.
+  EXPECT_EQ(trace::jsonEscape(std::string(1, '\x00')), "\\u0000");
+  EXPECT_EQ(trace::jsonEscape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(trace::jsonEscape(std::string(1, '\x1f')), "\\u001f");
+  // 0x20 (space) is the first character passed through verbatim.
+  EXPECT_EQ(trace::jsonEscape(" "), " ");
+}
+
+TEST(TraceEscape, QuoteAndBackslashRuns) {
+  EXPECT_EQ(trace::jsonEscape("\""), "\\\"");
+  EXPECT_EQ(trace::jsonEscape("\\"), "\\\\");
+  EXPECT_EQ(trace::jsonEscape("\\\""), "\\\\\\\"");
+  EXPECT_EQ(trace::jsonEscape("\\\\"), "\\\\\\\\");
+  // A string that is already escaped gets escaped again, not passed through.
+  EXPECT_EQ(trace::jsonEscape("\\n"), "\\\\n");
+}
+
+TEST(TraceEscape, Utf8PassesThrough) {
+  // Multi-byte UTF-8 sequences have every byte >= 0x80 and must survive
+  // unmodified (JSON strings are UTF-8; only ASCII control chars escape).
+  std::string Snowman = "\xe2\x98\x83";        // U+2603
+  std::string Accent = "caf\xc3\xa9";          // café
+  std::string Emoji = "\xf0\x9f\x99\x82";      // U+1F642, 4-byte sequence
+  EXPECT_EQ(trace::jsonEscape(Snowman), Snowman);
+  EXPECT_EQ(trace::jsonEscape(Accent), Accent);
+  EXPECT_EQ(trace::jsonEscape(Emoji), Emoji);
+}
+
+TEST(TraceEscape, MixedContent) {
+  EXPECT_EQ(trace::jsonEscape("say \"hi\"\n\tdone\x02"),
+            "say \\\"hi\\\"\\n\\tdone\\u0002");
+}
+
+// ---- tid / span attribution fields ----------------------------------------
+
+TEST(TraceFields, EveryEventCarriesTidAndSpan) {
+  std::ostringstream SS;
+  trace::setStream(&SS);
+  trace::Event("plain").num("x", 1);
+  trace::setStream(nullptr);
+  auto Ls = lines(SS);
+  ASSERT_EQ(Ls.size(), 1u);
+  EXPECT_NE(Ls[0].find("\"tid\":"), std::string::npos);
+  EXPECT_NE(Ls[0].find("\"span\":"), std::string::npos);
+  // Header order is part of the schema: event, t, tid, span, then fields.
+  size_t T = Ls[0].find("\"t\":"), Tid = Ls[0].find("\"tid\":"),
+         Span = Ls[0].find("\"span\":"), X = Ls[0].find("\"x\":");
+  EXPECT_LT(T, Tid);
+  EXPECT_LT(Tid, Span);
+  EXPECT_LT(Span, X);
+}
+
+TEST(TraceFields, SpanZeroOutsideAnySpan) {
+  // Profiling off and no span open: attribution is explicit, not absent.
+  ASSERT_FALSE(prof::enabled());
+  std::ostringstream SS;
+  trace::setStream(&SS);
+  trace::Event("orphan").num("x", 1);
+  trace::setStream(nullptr);
+  auto Ls = lines(SS);
+  ASSERT_EQ(Ls.size(), 1u);
+  EXPECT_NE(Ls[0].find("\"span\":0"), std::string::npos);
+}
+
+TEST(TraceFields, SpanMatchesEnclosingProfSpan) {
+  prof::start();
+  std::ostringstream SS;
+  trace::setStream(&SS);
+  uint64_t Id;
+  {
+    prof::Span S("phase_under_test");
+    Id = S.id();
+    ASSERT_NE(Id, 0u);
+    EXPECT_EQ(prof::currentSpanId(), Id);
+    trace::Event("inside").num("x", 1);
+  }
+  trace::Event("outside").num("x", 2);
+  trace::setStream(nullptr);
+  prof::stop();
+  prof::clear();
+
+  auto Ls = lines(SS);
+  ASSERT_EQ(Ls.size(), 2u);
+  EXPECT_NE(Ls[0].find("\"span\":" + std::to_string(Id)), std::string::npos);
+  EXPECT_NE(Ls[1].find("\"span\":0"), std::string::npos);
+}
+
+TEST(TraceFields, TidIsStablePerThread) {
+  std::ostringstream SS;
+  trace::setStream(&SS);
+  trace::Event("one").num("x", 1);
+  trace::Event("two").num("x", 2);
+  trace::setStream(nullptr);
+  auto Ls = lines(SS);
+  ASSERT_EQ(Ls.size(), 2u);
+  std::string Tid = "\"tid\":" + std::to_string(prof::threadId());
+  EXPECT_NE(Ls[0].find(Tid), std::string::npos);
+  EXPECT_NE(Ls[1].find(Tid), std::string::npos);
+}
+
+} // namespace

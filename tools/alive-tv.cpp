@@ -9,11 +9,13 @@
 ///
 ///   alive-tv src.ll tgt.ll [-j N] [--unroll N] [--timeout SEC]
 ///            [--equivalence] [--stats] [--json] [--trace-out FILE]
+///            [--profile] [--profile-out FILE] [--slow-query-ms N]
 ///
 //===----------------------------------------------------------------------===//
 
 #include "ir/Parser.h"
 #include "refine/Validator.h"
+#include "support/Profile.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 
@@ -64,14 +66,22 @@ static void usage() {
   std::fprintf(stderr,
                "usage: alive-tv <src.ll> <tgt.ll> [-j N] [--unroll N] "
                "[--timeout SEC] [--equivalence]\n"
-               "                [--stats] [--json] [--trace-out FILE]\n"
+               "                [--stats] [--json] [--trace-out FILE] "
+               "[--profile] [--profile-out FILE]\n"
+               "                [--slow-query-ms N]\n"
                "  -j N             verify pairs on N parallel workers "
                "(0 = one per hardware thread)\n"
                "  --stats          print the statistics registry after "
                "verification\n"
                "  --json           emit a machine-readable per-pair summary "
                "on stdout\n"
-               "  --trace-out FILE stream JSONL pipeline events to FILE\n");
+               "  --trace-out FILE stream JSONL pipeline events to FILE\n"
+               "  --profile        print the per-phase profile table after "
+               "verification\n"
+               "  --profile-out FILE  write a Chrome trace-event profile "
+               "(Perfetto / chrome://tracing)\n"
+               "  --slow-query-ms N   log path + cost of staged queries "
+               "slower than N ms to stderr\n");
 }
 
 /// Renders one verdict's JSON object (without trailing newline/comma).
@@ -100,10 +110,35 @@ static void printPairJson(const std::string &Name, const refine::Verdict &V) {
   std::printf("%s]}", FirstQ ? "" : "\n    ");
 }
 
+/// Renders the statistics registry snapshot as the "stats" member of the
+/// --json document, so machine consumers get the per-pair summary and the
+/// process counters in one read (--stats keeps the human table on stderr).
+static void printStatsJson() {
+  stats::Snapshot S = stats::Registry::get().snapshot();
+  std::printf("  \"stats\": {\n    \"counters\": {");
+  bool First = true;
+  for (const auto &[Name, V] : S.Counters) {
+    std::printf("%s\n      \"%s\": %llu", First ? "" : ",",
+                trace::jsonEscape(Name).c_str(), (unsigned long long)V);
+    First = false;
+  }
+  std::printf("%s},\n    \"distributions\": {", First ? "" : "\n    ");
+  First = true;
+  for (const auto &[Name, D] : S.Dists) {
+    std::printf("%s\n      \"%s\": {\"count\": %llu, \"sum\": %.6f, "
+                "\"min\": %.6f, \"max\": %.6f}",
+                First ? "" : ",", trace::jsonEscape(Name).c_str(),
+                (unsigned long long)D.Count, D.Sum, D.Min, D.Max);
+    First = false;
+  }
+  std::printf("%s}\n  }", First ? "" : "\n    ");
+}
+
 int main(int argc, char **argv) {
   const char *SrcPath = nullptr, *TgtPath = nullptr;
-  const char *TraceOut = nullptr;
-  bool ShowStats = false, Json = false;
+  const char *TraceOut = nullptr, *ProfileOut = nullptr;
+  bool ShowStats = false, Json = false, ShowProfile = false;
+  double SlowQueryMs = -1;
   unsigned Jobs = 1;
   refine::Options Opts;
   for (int I = 1; I < argc; ++I) {
@@ -138,11 +173,27 @@ int main(int argc, char **argv) {
       Json = true;
     } else if (!std::strcmp(argv[I], "--trace-out") && I + 1 < argc) {
       TraceOut = argv[++I];
+    } else if (!std::strcmp(argv[I], "--profile")) {
+      ShowProfile = true;
+    } else if (!std::strcmp(argv[I], "--profile-out") && I + 1 < argc) {
+      ProfileOut = argv[++I];
+    } else if (!std::strcmp(argv[I], "--slow-query-ms") && I + 1 < argc) {
+      const char *Arg = argv[++I];
+      if (!parseDouble(Arg, SlowQueryMs) || SlowQueryMs < 0) {
+        std::fprintf(
+            stderr,
+            "error: --slow-query-ms expects a non-negative number, got "
+            "'%s'\n",
+            Arg);
+        return 2;
+      }
     } else if (!std::strcmp(argv[I], "--unroll") ||
                !std::strcmp(argv[I], "--timeout") ||
                !std::strcmp(argv[I], "-j") ||
                !std::strcmp(argv[I], "--jobs") ||
-               !std::strcmp(argv[I], "--trace-out")) {
+               !std::strcmp(argv[I], "--trace-out") ||
+               !std::strcmp(argv[I], "--profile-out") ||
+               !std::strcmp(argv[I], "--slow-query-ms")) {
       std::fprintf(stderr, "error: %s requires a value\n", argv[I]);
       return 2;
     } else if (argv[I][0] == '-' && argv[I][1] != '\0') {
@@ -171,6 +222,13 @@ int main(int argc, char **argv) {
   if (TraceOut && !trace::openFile(TraceOut)) {
     std::fprintf(stderr, "error: cannot open trace file '%s'\n", TraceOut);
     return 2;
+  }
+  // Any profiling consumer turns span collection on (before parsing, so
+  // the parse span is part of the profile too).
+  if (ShowProfile || ProfileOut || SlowQueryMs >= 0) {
+    if (SlowQueryMs >= 0)
+      prof::setSlowQueryMs(SlowQueryMs);
+    prof::start();
   }
 
   std::string SrcText, TgtText;
@@ -215,7 +273,9 @@ int main(int argc, char **argv) {
       First = false;
       printPairJson(Name, V);
     }
-    std::printf("\n  ]\n}\n");
+    std::printf("\n  ],\n");
+    printStatsJson();
+    std::printf("\n}\n");
   } else {
     for (const auto &[Name, Index, V] : Results) {
       (void)Index;
@@ -245,6 +305,16 @@ int main(int argc, char **argv) {
     // With --json active, stdout must stay a single valid JSON document.
     std::string Table = stats::Registry::get().table();
     std::fputs(Table.c_str(), Json ? stderr : stdout);
+  }
+  if (ShowProfile) {
+    std::string Table = prof::table();
+    std::fputs(Table.c_str(), Json ? stderr : stdout);
+  }
+  if (ProfileOut && !prof::writeChromeTrace(ProfileOut)) {
+    std::fprintf(stderr, "error: cannot write profile file '%s'\n",
+                 ProfileOut);
+    trace::close();
+    return 2;
   }
   trace::close();
   return Failures ? 1 : 0;

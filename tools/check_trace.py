@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Validate alive2re observability artifacts (stdlib only).
+
+Two artifact kinds, both produced by alive-tv:
+
+  --jsonl FILE   a JSONL pipeline trace (--trace-out): every line must be a
+                 flat JSON object carrying the mandatory "event", "t" and
+                 "tid" fields (and "span" since the profiling subsystem);
+                 values must be scalars (nesting is unsupported by design).
+
+  --chrome FILE  a Chrome trace-event profile (--profile-out): the document
+                 must hold a "traceEvents" list whose entries carry the
+                 required keys "ph"/"pid"/"tid"/"name"; complete ("X")
+                 events also need numeric "ts"/"dur", with "ts" monotone
+                 non-decreasing per (pid, tid) track.
+
+Exit status 0 when every requested artifact validates, 1 otherwise, with
+one diagnostic per violation on stderr. Used by the `tool.check-trace`
+ctest and usable standalone:
+
+  alive-tv src.ll tgt.ll -j 4 --trace-out t.jsonl --profile-out p.json
+  python3 tools/check_trace.py --jsonl t.jsonl --chrome p.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(errors, msg):
+    errors.append(msg)
+    print(f"check_trace: {msg}", file=sys.stderr)
+
+
+def check_jsonl(path, errors):
+    events = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.rstrip("\n")
+            if not line:
+                fail(errors, f"{path}:{lineno}: empty line")
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                fail(errors, f"{path}:{lineno}: invalid JSON: {exc}")
+                continue
+            if not isinstance(obj, dict):
+                fail(errors, f"{path}:{lineno}: line is not a JSON object")
+                continue
+            events += 1
+            for key in ("event", "t", "tid"):
+                if key not in obj:
+                    fail(errors, f"{path}:{lineno}: missing key '{key}'")
+            if not isinstance(obj.get("event"), str):
+                fail(errors, f"{path}:{lineno}: 'event' must be a string")
+            if not isinstance(obj.get("t"), (int, float)):
+                fail(errors, f"{path}:{lineno}: 't' must be a number")
+            if not isinstance(obj.get("tid"), int):
+                fail(errors, f"{path}:{lineno}: 'tid' must be an integer")
+            if "span" in obj and not isinstance(obj["span"], int):
+                fail(errors, f"{path}:{lineno}: 'span' must be an integer")
+            for key, value in obj.items():
+                if isinstance(value, (dict, list)):
+                    fail(errors,
+                         f"{path}:{lineno}: nested value under '{key}' "
+                         "(trace values must be flat scalars)")
+    if events == 0:
+        fail(errors, f"{path}: no events")
+    return events
+
+
+def check_chrome(path, errors):
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as exc:
+            fail(errors, f"{path}: invalid JSON: {exc}")
+            return 0, 0
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(errors, f"{path}: missing 'traceEvents' list")
+        return 0, 0
+    last_ts = {}  # (pid, tid) -> last seen ts
+    spans = 0
+    for i, ev in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(errors, f"{where}: not an object")
+            continue
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in ev:
+                fail(errors, f"{where}: missing key '{key}'")
+        if ev.get("ph") != "X":
+            continue  # metadata ("M") and other phases carry no timing
+        spans += 1
+        ts, dur = ev.get("ts"), ev.get("dur")
+        if not isinstance(ts, (int, float)):
+            fail(errors, f"{where}: 'X' event needs numeric 'ts'")
+            continue
+        if not isinstance(dur, (int, float)) or dur < 0:
+            fail(errors, f"{where}: 'X' event needs non-negative 'dur'")
+        track = (ev.get("pid"), ev.get("tid"))
+        if track in last_ts and ts < last_ts[track]:
+            fail(errors,
+                 f"{where}: 'ts' {ts} goes backwards on track {track} "
+                 f"(previous {last_ts[track]})")
+        last_ts[track] = ts
+    if spans == 0:
+        fail(errors, f"{path}: no 'X' span events")
+    return spans, len(last_ts)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--jsonl", help="JSONL pipeline trace (--trace-out)")
+    ap.add_argument("--chrome",
+                    help="Chrome trace-event profile (--profile-out)")
+    ap.add_argument("--min-tracks", type=int, default=0,
+                    help="require at least N (pid, tid) tracks in the "
+                    "Chrome profile (e.g. worker count of a -j N run)")
+    args = ap.parse_args()
+    if not args.jsonl and not args.chrome:
+        ap.error("nothing to check: pass --jsonl and/or --chrome")
+
+    errors = []
+    if args.jsonl:
+        n = check_jsonl(args.jsonl, errors)
+        print(f"check_trace: {args.jsonl}: {n} JSONL events")
+    if args.chrome:
+        spans, tracks = check_chrome(args.chrome, errors)
+        print(f"check_trace: {args.chrome}: {spans} spans on {tracks} "
+              "tracks")
+        if args.min_tracks and tracks < args.min_tracks:
+            fail(errors,
+                 f"{args.chrome}: expected >= {args.min_tracks} tracks, "
+                 f"got {tracks}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
