@@ -67,7 +67,11 @@ inline refine::Verdict runPair(const corpus::TestPair &P,
   auto TgtM = ir::parseModuleOrDie(P.TgtIR);
   const ir::Function *SF = SrcM->function(SrcM->numFunctions() - 1);
   const ir::Function *TF = TgtM->functionByName(SF->name());
-  return refine::Validator(Opts).verifyPair(*SF, *TF, SrcM.get());
+  // Benchmarks measure solver effort; the result cache is its own
+  // benchmark (bench_cache) and stays out of everyone else's numbers.
+  refine::Options O = Opts;
+  O.Cache = refine::CachePolicy::disabled();
+  return refine::Validator(O).verifyPair(*SF, *TF, SrcM.get());
 }
 
 /// Sum of the named distribution in a registry snapshot; 0 when absent.

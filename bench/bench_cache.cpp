@@ -1,0 +1,130 @@
+//===- bench/bench_cache.cpp - Query/verdict cache sweep -----------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Cold-vs-warm sweep for the two-level result cache: the corpus is pushed
+/// through one Validator against a fresh on-disk store (cold), replayed
+/// through the same Validator (warm, in-memory pair hits), and replayed
+/// again through a brand-new Validator that only has the store file (warm,
+/// disk). An uncached baseline anchors the comparison. Verdict tallies
+/// must be identical in every row — the cache may only move time around.
+///
+/// Emits BENCH_cache.json (registry snapshot: cache.* counters plus
+/// bench.cache.*_wall distributions).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <filesystem>
+
+using namespace alive;
+using namespace alive::bench;
+
+int main() {
+  std::vector<corpus::TestPair> Suite = corpus::unitTestSuite();
+  auto Gen = corpus::generatedSuite(12, 0xcac4e);
+  Suite.insert(Suite.end(), Gen.begin(), Gen.end());
+
+  // Parse every pair up front and keep the modules alive: all four rows
+  // must verify the exact same tasks.
+  std::vector<std::unique_ptr<ir::Module>> Keep;
+  std::vector<refine::Validator::PairTask> Tasks;
+  for (const auto &P : Suite) {
+    auto SrcM = ir::parseModuleOrDie(P.SrcIR);
+    auto TgtM = ir::parseModuleOrDie(P.TgtIR);
+    const ir::Function *SF = SrcM->function(SrcM->numFunctions() - 1);
+    const ir::Function *TF = TgtM->functionByName(SF->name());
+    Tasks.push_back({SF, TF, SrcM.get(), P.Name});
+    Keep.push_back(std::move(SrcM));
+    Keep.push_back(std::move(TgtM));
+  }
+
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "alive2re-bench-cache";
+  fs::remove_all(Dir);
+  fs::create_directories(Dir);
+
+  refine::Options Base;
+  Base.UnrollFactor = 8;
+  Base.Budget.TimeoutSec = 10;
+
+  std::printf("# Query/verdict cache: cold vs warm (corpus: %zu pairs, "
+              "unroll 8, timeout 10s)\n",
+              Tasks.size());
+  std::printf("%-16s %-9s %-7s %-7s %-9s %-10s %-10s\n", "row", "wall(s)",
+              "valid", "viol", "cachehit", "queries", "speedup");
+  stats::Registry::get().reset();
+
+  refine::BatchSummary Ref;
+  double ColdWall = 0;
+  auto row = [&](const char *Name, const char *Sample,
+                 refine::Validator &V) {
+    Stopwatch Timer;
+    auto Results = V.verifyBatch(Tasks, /*Jobs=*/1);
+    double Wall = Timer.seconds();
+    stats::addSample(Sample, Wall);
+    refine::BatchSummary S = refine::summarize(Results);
+    if (Ref.Pairs == 0) {
+      Ref = S;
+      ColdWall = Wall;
+    }
+    bool Parity = S.Correct == Ref.Correct && S.Incorrect == Ref.Incorrect &&
+                  S.Unsupported == Ref.Unsupported;
+    std::printf("%-16s %-9.2f %-7u %-7u %-9u %-10u %-10.2f%s\n", Name, Wall,
+                S.Correct, S.Incorrect, S.CacheHits, S.QueriesRun,
+                Wall > 0 ? ColdWall / Wall : 0.0,
+                Parity ? "" : "  ** VERDICT MISMATCH vs cold **");
+    return S;
+  };
+
+  {
+    refine::Options Opts = Base;
+    Opts.Cache = refine::CachePolicy::disabled();
+    refine::Validator V(Opts);
+    Stopwatch Timer;
+    auto Results = V.verifyBatch(Tasks, /*Jobs=*/1);
+    double Wall = Timer.seconds();
+    stats::addSample("bench.cache.uncached_wall", Wall);
+    refine::BatchSummary S = refine::summarize(Results);
+    std::printf("%-16s %-9.2f %-7u %-7u %-9u %-10u %-10s\n", "uncached",
+                Wall, S.Correct, S.Incorrect, S.CacheHits, S.QueriesRun,
+                "-");
+  }
+
+  refine::Options Opts = Base;
+  Opts.Cache.Dir = Dir.string();
+  {
+    refine::Validator V(Opts);
+    row("cold", "bench.cache.cold_wall", V);
+    refine::BatchSummary Warm =
+        row("warm-memory", "bench.cache.warm_memory_wall", V);
+    if (Warm.CacheHits != Warm.Pairs)
+      std::printf("** expected every warm-memory pair cached, got %u/%u\n",
+                  Warm.CacheHits, Warm.Pairs);
+    std::string Err;
+    if (!V.flushCache(&Err))
+      std::printf("** cache flush failed: %s\n", Err.c_str());
+  }
+  {
+    // Fresh Validator, fresh process stand-in: only the store file is warm.
+    refine::Validator V(Opts);
+    refine::BatchSummary Disk =
+        row("warm-disk", "bench.cache.warm_disk_wall", V);
+    if (Disk.CacheHits != Disk.Pairs)
+      std::printf("** expected every warm-disk pair cached, got %u/%u\n",
+                  Disk.CacheHits, Disk.Pairs);
+  }
+
+  const char *Out = "BENCH_cache.json";
+  if (writeStatsJson(Out, stats::Registry::get().snapshot(),
+                     "cache cold/warm sweep; bench.cache.*_wall carry the "
+                     "row wall times"))
+    std::printf("\nwrote %s\n", Out);
+  fs::remove_all(Dir);
+  std::printf("\n(cache contract: identical verdict tallies in every row; "
+              "warm rows buy back the solver time)\n");
+  return 0;
+}

@@ -32,6 +32,9 @@ int main() {
     refine::Options Opts;
     Opts.UnrollFactor = 8;
     Opts.Budget.TimeoutSec = 10;
+    // Solver effort is the measurement; the result cache would serve
+    // repeats for free and skew it.
+    Opts.Cache = refine::CachePolicy::disabled();
     Tally T;
     unsigned Checks = 0;
     Stopwatch Timer;
@@ -68,6 +71,7 @@ entry:
     auto M = ir::parseModuleOrDie(Src);
     refine::Options Opts;
     Opts.Budget.TimeoutSec = 15;
+    Opts.Cache = refine::CachePolicy::disabled();
     unsigned Violations = 0;
     ir::Module *MPtr = M.get();
     refine::Validator Validator(Opts);
@@ -99,6 +103,10 @@ entry:
     refine::Options Opts;
     Opts.UnrollFactor = 8;
     Opts.Budget.TimeoutSec = 10;
+    // The sweep replays the same batch through one Validator at rising job
+    // counts: with the pair cache on, -j 2/4 would be answered wholesale
+    // from -j 1's run and the speedup would be fiction.
+    Opts.Cache = refine::CachePolicy::disabled();
     std::vector<std::unique_ptr<ir::Function>> Keep;
     std::vector<refine::Validator::PairTask> Tasks;
     ir::Module *MPtr = M.get();

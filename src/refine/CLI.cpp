@@ -1,0 +1,126 @@
+//===- refine/CLI.cpp - Shared tool command-line parsing ---------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "refine/CLI.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace alive;
+using namespace alive::refine;
+using namespace alive::refine::cli;
+
+bool cli::parseUnsigned(const char *S, unsigned &Out) {
+  errno = 0;
+  char *End = nullptr;
+  long V = std::strtol(S, &End, 10);
+  if (End == S || *End != '\0' || errno == ERANGE || V < 0 || V > 0x7fffffff)
+    return false;
+  Out = (unsigned)V;
+  return true;
+}
+
+bool cli::parseDouble(const char *S, double &Out) {
+  errno = 0;
+  char *End = nullptr;
+  double V = std::strtod(S, &End);
+  if (End == S || *End != '\0' || errno == ERANGE)
+    return false;
+  Out = V;
+  return true;
+}
+
+std::string cli::optionsUsage(bool IncludeJobs) {
+  std::string U;
+  if (IncludeJobs)
+    U += "  -j N             verify pairs on N parallel workers "
+         "(0 = one per hardware thread)\n";
+  U += "  --unroll N       loop unroll bound (default 2)\n"
+       "  --timeout SEC    per-SMT-query solver budget in seconds\n"
+       "  --equivalence    check plain equivalence instead of refinement\n"
+       "  --cache-dir DIR  persist the result cache to DIR/alive2re.cache "
+       "(warm runs skip\n"
+       "                   unchanged pairs and report them as cached)\n"
+       "  --no-query-cache disable the result cache entirely\n";
+  return U;
+}
+
+Parsed OptionsParser::consume(int Argc, char **Argv, int &I) {
+  const char *A = Argv[I];
+  // Fetches the flag's value slot; a missing one is an Error (so flags
+  // never fall through to a tool's positional handling half-parsed).
+  const char *Val = nullptr;
+  auto value = [&]() {
+    if (I + 1 >= Argc) {
+      std::fprintf(stderr, "error: %s requires a value\n", A);
+      return false;
+    }
+    Val = Argv[++I];
+    return true;
+  };
+
+  if (!std::strcmp(A, "--unroll")) {
+    if (!value())
+      return Parsed::Error;
+    if (!parseUnsigned(Val, Opts.UnrollFactor)) {
+      std::fprintf(stderr, "error: --unroll expects an integer, got '%s'\n",
+                   Val);
+      return Parsed::Error;
+    }
+    return Parsed::Ok;
+  }
+  if (!std::strcmp(A, "--timeout")) {
+    if (!value())
+      return Parsed::Error;
+    if (!parseDouble(Val, Opts.Budget.TimeoutSec)) {
+      std::fprintf(stderr,
+                   "error: --timeout expects a number of seconds, got '%s'\n",
+                   Val);
+      return Parsed::Error;
+    }
+    return Parsed::Ok;
+  }
+  if (!std::strcmp(A, "--equivalence")) {
+    Opts.EquivalenceMode = true;
+    return Parsed::Ok;
+  }
+  if (!std::strcmp(A, "--cache-dir")) {
+    if (!value())
+      return Parsed::Error;
+    if (!*Val) {
+      std::fprintf(stderr, "error: --cache-dir expects a directory\n");
+      return Parsed::Error;
+    }
+    Opts.Cache.Dir = Val;
+    return Parsed::Ok;
+  }
+  if (!std::strcmp(A, "--no-query-cache")) {
+    // Levels only: a later --cache-dir must not be wiped (and vice versa a
+    // kept Dir is inert while both levels are off).
+    Opts.Cache.QueryLevel = Opts.Cache.PairLevel = false;
+    return Parsed::Ok;
+  }
+  if (Jobs && (!std::strcmp(A, "-j") || !std::strcmp(A, "--jobs"))) {
+    if (!value())
+      return Parsed::Error;
+    if (!parseUnsigned(Val, *Jobs)) {
+      std::fprintf(stderr, "error: %s expects an integer, got '%s'\n", A, Val);
+      return Parsed::Error;
+    }
+    return Parsed::Ok;
+  }
+  return Parsed::NotMine;
+}
+
+bool OptionsParser::validate() const {
+  std::string Err = Opts.validate();
+  if (Err.empty())
+    return true;
+  std::fprintf(stderr, "error: invalid options: %s\n", Err.c_str());
+  return false;
+}

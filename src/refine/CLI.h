@@ -1,0 +1,68 @@
+//===- refine/CLI.h - Shared tool command-line parsing ----------*- C++ -*-==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One flag parser for every alive-* tool. The tools used to duplicate the
+/// argv loop for the flags that map onto refine::Options — and the copies
+/// diverged: alive-tv validated values, alive-opt and alive-corpus ran them
+/// through atoi and silently accepted garbage. This parser owns the shared
+/// flags (--unroll, --timeout, --equivalence, the cache flags --cache-dir /
+/// --no-query-cache, and -j/--jobs where a tool is parallel); tools offer
+/// each argv slot to it first and keep only their tool-specific flags.
+/// Malformed values are diagnosed on stderr and the tool exits 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE2RE_REFINE_CLI_H
+#define ALIVE2RE_REFINE_CLI_H
+
+#include "refine/Refinement.h"
+
+#include <string>
+
+namespace alive::refine::cli {
+
+/// Parses a non-negative integer; rejects trailing garbage ("3x") and
+/// negative values. Semantic range checks (e.g. a zero unroll factor) are
+/// Options::validate()'s job, not the flag parser's.
+bool parseUnsigned(const char *S, unsigned &Out);
+
+/// Parses a decimal number (seconds); range-checked by Options::validate().
+bool parseDouble(const char *S, double &Out);
+
+/// Outcome of offering one argv slot to the shared parser.
+enum class Parsed {
+  NotMine, ///< not a shared flag: the tool handles it
+  Ok,      ///< consumed (possibly together with its value)
+  Error,   ///< shared flag with a bad/missing value; diagnostic printed
+};
+
+/// Usage lines for the shared flags, each "  --flag ...\n", for a tool to
+/// splice into its own usage() output. \p IncludeJobs adds the -j line.
+std::string optionsUsage(bool IncludeJobs);
+
+class OptionsParser {
+public:
+  /// \p Jobs enables -j/--jobs; pass null for serial tools.
+  explicit OptionsParser(Options &Opts, unsigned *Jobs = nullptr)
+      : Opts(Opts), Jobs(Jobs) {}
+
+  /// Offers argv[\p I] to the parser; consuming a flag's value advances
+  /// \p I. On Error the diagnostic is already on stderr — return 2.
+  Parsed consume(int Argc, char **Argv, int &I);
+
+  /// Runs Options::validate() after the argv loop and prints the
+  /// diagnostic on failure — a false return means exit 2.
+  bool validate() const;
+
+private:
+  Options &Opts;
+  unsigned *Jobs;
+};
+
+} // namespace alive::refine::cli
+
+#endif // ALIVE2RE_REFINE_CLI_H

@@ -1,0 +1,39 @@
+//===- refine/Fingerprint.h - Verification-pair fingerprints ----*- C++ -*-==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pair-level cache key: a canonical 128-bit fingerprint of one
+/// verification task, covering everything the verdict depends on — the
+/// printed IR of both functions (print -> parse round-trips, so the text is
+/// the canonical form), the module's globals (they shape the memory
+/// layout), every semantics-affecting option, and the cache format version
+/// so persisted verdicts are invalidated wholesale when the encoding
+/// changes. Two tasks with equal fingerprints provably run the same staged
+/// queries, which is what lets a warm `alive-tv --cache-dir` run skip the
+/// pair entirely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE2RE_REFINE_FINGERPRINT_H
+#define ALIVE2RE_REFINE_FINGERPRINT_H
+
+#include "ir/Function.h"
+#include "refine/Refinement.h"
+#include "support/Fingerprint.h"
+
+namespace alive::refine {
+
+/// Fingerprint of the (Src, Tgt, globals, options) verification task.
+/// \p M may be null (no globals). Options outside the semantic set — the
+/// cache policy itself, cancellation plumbing — do not participate.
+support::Fingerprint fingerprintPair(const ir::Function &Src,
+                                     const ir::Function &Tgt,
+                                     const ir::Module *M,
+                                     const Options &Opts);
+
+} // namespace alive::refine
+
+#endif // ALIVE2RE_REFINE_FINGERPRINT_H

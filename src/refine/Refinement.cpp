@@ -7,10 +7,11 @@
 #include "refine/Refinement.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
-#include "refine/Validator.h"
 #include "sema/Encoder.h"
 #include "smt/ExistsForall.h"
+#include "smt/Fingerprint.h"
 #include "support/Profile.h"
+#include "support/QueryCache.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 #include "transform/Unroll.h"
@@ -110,8 +111,8 @@ std::string renderCounterexample(const Model &M, const Function &SrcF) {
 class RefinementCheck {
 public:
   RefinementCheck(const Function &Src, const Function &Tgt, const Module *M,
-                  const Options &Opts)
-      : SrcF(Src), TgtF(Tgt), M(M), Opts(Opts) {}
+                  const Options &Opts, support::QueryCache *QC)
+      : SrcF(Src), TgtF(Tgt), M(M), Opts(Opts), QC(QC) {}
 
   Verdict run();
 
@@ -120,6 +121,8 @@ private:
   const Function &TgtF;
   const Module *M;
   const Options &Opts;
+  /// Staged-query result cache; null = query level disabled.
+  support::QueryCache *QC;
   Stopwatch Timer;
 
   std::unique_ptr<Function> SrcU, TgtU;
@@ -159,7 +162,8 @@ private:
           .num("conflicts", QS.Conflicts)
           .num("decisions", QS.Decisions)
           .num("propagations", QS.Propagations)
-          .num("clauses", QS.Clauses);
+          .num("clauses", QS.Clauses)
+          .flag("cached", QS.CacheHit);
     stats::addSample("time.query", QS.Seconds);
     QStats.push_back(std::move(QS));
   }
@@ -200,6 +204,32 @@ RefinementCheck::runQuery(const std::string &CheckName,
   for (const auto &N : Tgt.ApproxFnNames)
     Q.AvoidAppPrefixes.push_back(N);
 
+  // Query-level cache: the staged query is fully assembled, so its
+  // canonical fingerprint is available before any solver work. A hit skips
+  // the exists-forall search entirely; sat-side hits replay the rendered
+  // counterexample (plain text — models never cross the cache).
+  support::Fingerprint QueryFp;
+  if (QC) {
+    prof::Span FpSpan("cache_lookup", CheckName);
+    QueryFp = fingerprintQuery(Q);
+    support::CachedQuery Hit;
+    if (QC->findQuery(QueryFp, Hit)) {
+      QS.Result =
+          Hit.Result == support::CachedQueryResult::Unsat ? "unsat" : "sat";
+      QS.Seconds = QTimer.seconds();
+      QS.CacheHit = true;
+      recordQuery(std::move(QS));
+      switch (Hit.Result) {
+      case support::CachedQueryResult::Unsat:
+        return std::nullopt; // this check passes
+      case support::CachedQueryResult::SatApprox:
+        return verdict(VerdictKind::Unsupported, CheckName, Hit.Detail);
+      case support::CachedQueryResult::Sat:
+        return verdict(VerdictKind::Incorrect, CheckName, Hit.Detail);
+      }
+    }
+  }
+
   SolverBudget B = Opts.Budget;
   double Remaining = B.TimeoutSec - Timer.seconds();
   if (Remaining <= 0) {
@@ -227,8 +257,12 @@ RefinementCheck::runQuery(const std::string &CheckName,
   recordQuery(std::move(QS));
   switch (R.Res) {
   case SatResult::Unsat:
+    if (QC)
+      QC->putQuery(QueryFp, {support::CachedQueryResult::Unsat, ""});
     return std::nullopt; // this check passes
   case SatResult::Unknown:
+    // Unknowns are budget artifacts, never cached: a rerun (or a bigger
+    // budget) may decide them.
     if (R.UnknownReason == "memory")
       return verdict(VerdictKind::OutOfMemory, CheckName, R.UnknownReason);
     return verdict(VerdictKind::Timeout, CheckName, R.UnknownReason);
@@ -238,12 +272,17 @@ RefinementCheck::runQuery(const std::string &CheckName,
   // Counterexample found. The engine already retried for a model whose
   // support avoids over-approximated features (Section 3.8); a tainted
   // model means we cannot conclude a real bug.
-  if (R.ApproxInvolved)
-    return verdict(VerdictKind::Unsupported, CheckName,
-                   "counterexample depends on over-approximated feature: " +
-                       R.ApproxApp);
-  return verdict(VerdictKind::Incorrect, CheckName,
-                 "counterexample:\n" + renderCounterexample(R.M, SrcF));
+  if (R.ApproxInvolved) {
+    std::string Detail =
+        "counterexample depends on over-approximated feature: " + R.ApproxApp;
+    if (QC)
+      QC->putQuery(QueryFp, {support::CachedQueryResult::SatApprox, Detail});
+    return verdict(VerdictKind::Unsupported, CheckName, std::move(Detail));
+  }
+  std::string Detail = "counterexample:\n" + renderCounterexample(R.M, SrcF);
+  if (QC)
+    QC->putQuery(QueryFp, {support::CachedQueryResult::Sat, Detail});
+  return verdict(VerdictKind::Incorrect, CheckName, std::move(Detail));
 }
 
 Verdict RefinementCheck::run() {
@@ -367,25 +406,53 @@ Verdict RefinementCheck::run() {
     ALIVE_STAT_COUNTER(QueryCount, "refine.queries");
     QueryCount.inc();
     Stopwatch QTimer;
-    Solver S;
-    for (Expr E : OuterBase)
-      S.add(E);
-    SolverBudget B = Opts.Budget;
-    SolveOutcome R = S.check(B);
     QueryStats QS;
     QS.Check = "precondition";
-    QS.Result = R.isUnsat() ? "unsat" : R.isSat() ? "sat" : "unknown";
-    QS.Seconds = QTimer.seconds();
-    QS.SolverSeconds = R.Stats.Seconds;
-    QS.SatChecks = R.Stats.Checks;
-    QS.Conflicts = R.Stats.Conflicts;
-    QS.Decisions = R.Stats.Decisions;
-    QS.Propagations = R.Stats.Propagations;
-    QS.Clauses = R.Stats.Clauses;
-    recordQuery(std::move(QS));
-    if (R.isUnsat())
-      return verdict(VerdictKind::PreconditionFalse, "precondition",
-                     "the combined preconditions are unsatisfiable");
+
+    // The precondition query is a plain conjunction, so its cache key is
+    // the order-independent conjunction fingerprint.
+    support::Fingerprint PreFp;
+    bool Hit = false, HitSat = false;
+    if (QC) {
+      prof::Span FpSpan("cache_lookup", "precondition");
+      PreFp = fingerprintConjunction(OuterBase);
+      support::CachedQuery CQ;
+      if (QC->findQuery(PreFp, CQ)) {
+        Hit = true;
+        HitSat = CQ.Result != support::CachedQueryResult::Unsat;
+      }
+    }
+    if (Hit) {
+      QS.Result = HitSat ? "sat" : "unsat";
+      QS.Seconds = QTimer.seconds();
+      QS.CacheHit = true;
+      recordQuery(std::move(QS));
+      if (!HitSat)
+        return verdict(VerdictKind::PreconditionFalse, "precondition",
+                       "the combined preconditions are unsatisfiable");
+    } else {
+      Solver S;
+      for (Expr E : OuterBase)
+        S.add(E);
+      SolverBudget B = Opts.Budget;
+      SolveOutcome R = S.check(B);
+      QS.Result = R.isUnsat() ? "unsat" : R.isSat() ? "sat" : "unknown";
+      QS.Seconds = QTimer.seconds();
+      QS.SolverSeconds = R.Stats.Seconds;
+      QS.SatChecks = R.Stats.Checks;
+      QS.Conflicts = R.Stats.Conflicts;
+      QS.Decisions = R.Stats.Decisions;
+      QS.Propagations = R.Stats.Propagations;
+      QS.Clauses = R.Stats.Clauses;
+      recordQuery(std::move(QS));
+      if (QC && !R.isUnknown())
+        QC->putQuery(PreFp, {R.isUnsat() ? support::CachedQueryResult::Unsat
+                                         : support::CachedQueryResult::Sat,
+                             ""});
+      if (R.isUnsat())
+        return verdict(VerdictKind::PreconditionFalse, "precondition",
+                       "the combined preconditions are unsatisfiable");
+    }
   }
 
   // Step 2: the target triggers UB only when the source does.
@@ -516,13 +583,14 @@ Verdict RefinementCheck::run() {
 } // namespace
 
 Verdict refine::detail::checkPair(const Function &Src, const Function &Tgt,
-                                  const Module *M, const Options &Opts) {
+                                  const Module *M, const Options &Opts,
+                                  support::QueryCache *QC) {
   ALIVE_STAT_COUNTER(Pairs, "refine.pairs");
   Pairs.inc();
   prof::Span ProfSpan("verify_pair", Src.name());
   ALIVE_STAT_SAMPLER(VerifyTime, "time.verify");
   stats::ScopedTimer Timer(VerifyTime);
-  RefinementCheck C(Src, Tgt, M, Opts);
+  RefinementCheck C(Src, Tgt, M, Opts, QC);
   Verdict V = C.run();
   if (trace::enabled())
     trace::Event("verdict")
@@ -530,25 +598,7 @@ Verdict refine::detail::checkPair(const Function &Src, const Function &Tgt,
         .str("kind", V.kindName())
         .str("failed_check", V.FailedCheck)
         .num("seconds", V.Seconds)
-        .num("queries_run", V.QueriesRun);
+        .num("queries_run", V.QueriesRun)
+        .flag("cached", false);
   return V;
-}
-
-// Deprecated wrappers: the Validator facade is the supported entry point.
-
-Verdict refine::verifyRefinement(const Function &Src, const Function &Tgt,
-                                 const Module *M, const Options &Opts) {
-  return Validator(Opts).verifyPair(Src, Tgt, M);
-}
-
-std::vector<std::pair<std::string, Verdict>>
-refine::verifyModules(const Module &Src, const Module &Tgt,
-                      const Options &Opts) {
-  std::vector<PairResult> Results =
-      Validator(Opts).verifyModules(Src, Tgt, /*Jobs=*/1);
-  std::vector<std::pair<std::string, Verdict>> Out;
-  Out.reserve(Results.size());
-  for (PairResult &R : Results)
-    Out.push_back({std::move(R.Name), std::move(R.V)});
-  return Out;
 }

@@ -21,10 +21,41 @@
 #include "ir/Function.h"
 #include "smt/Solver.h"
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
+namespace alive::support {
+class QueryCache;
+}
+
 namespace alive::refine {
+
+/// Result-cache configuration (see support/QueryCache.h and DESIGN.md
+/// "Query cache"). Both in-memory levels default on: within one Validator
+/// they are pure accelerators — a hit returns the same verdict class the
+/// solver would re-derive. Turn levels off where exact per-query solver
+/// effort must be reproduced (the determinism tests and the batching
+/// benchmarks do), or when persisting across runs is the only goal.
+struct CachePolicy {
+  /// Consult/fill the staged-query level (fingerprint -> sat/unsat).
+  bool QueryLevel = true;
+  /// Consult/fill the pair level (fingerprint -> verdict).
+  bool PairLevel = true;
+  /// Directory of the persistent store; empty = in-memory only. The
+  /// Validator loads it on construction and flushes on destruction.
+  std::string Dir;
+  /// Per-shard entry bound forwarded to the cache.
+  size_t MaxEntriesPerShard = size_t(1) << 14;
+
+  bool anyLevel() const { return QueryLevel || PairLevel; }
+  /// Both levels off: every query reaches the solver.
+  static CachePolicy disabled() {
+    CachePolicy P;
+    P.QueryLevel = P.PairLevel = false;
+    return P;
+  }
+};
 
 struct Options {
   /// Loop unroll bound (Section 7). At least 2 covers back-edge phi entries
@@ -42,6 +73,9 @@ struct Options {
   /// Ablation E8: symbolic quantifier-instantiation seeds (the Section 3.7
   /// undef-instantiation optimization analog). Off = plain CEGIS.
   bool UseInstantiationSeeds = true;
+  /// Result-cache policy. Not part of the pair fingerprint: it controls
+  /// whether caching happens, never what a verdict is.
+  CachePolicy Cache;
 
   /// Sanity-checks the configuration: rejects a zero unroll factor and
   /// zero / non-finite solver budget fields. \returns an empty string when
@@ -86,6 +120,9 @@ struct QueryStats {
   uint64_t Propagations = 0;
   /// Peak clause-database size over the query's checks.
   size_t Clauses = 0;
+  /// True when the result came from the staged-query cache: no solver ran,
+  /// so SatChecks and the effort counters are legitimately zero.
+  bool CacheHit = false;
 };
 
 struct Verdict {
@@ -99,6 +136,10 @@ struct Verdict {
   unsigned QueriesRun = 0;
   /// Per-staged-query cost, in execution order (observability tentpole).
   std::vector<QueryStats> Queries;
+  /// True when the whole verdict came from the pair-level cache: Kind,
+  /// FailedCheck, Detail and QueriesRun replay the original run, Seconds is
+  /// the lookup cost and Queries is empty (no queries actually ran).
+  bool Cached = false;
 
   bool isCorrect() const { return Kind == VerdictKind::Correct; }
   bool isIncorrect() const { return Kind == VerdictKind::Incorrect; }
@@ -106,35 +147,19 @@ struct Verdict {
 };
 
 namespace detail {
-/// Implementation entry shared by Validator::verifyPair and the deprecated
-/// free functions below: runs the staged checks for one pair under \p Opts,
-/// including the per-pair registry samples and the "verdict" trace event.
-/// Does not validate \p Opts and does not install a cancellation flag —
-/// that is the Validator's job.
+/// Implementation entry behind Validator::verifyPair: runs the staged
+/// checks for one pair under \p Opts, including the per-pair registry
+/// samples and the "verdict" trace event. Does not validate \p Opts and
+/// does not install a cancellation flag — that is the Validator's job.
+/// \p QC, when non-null, is consulted before and filled after every staged
+/// query (the query level of the result cache); the pair level lives in
+/// the Validator. The free verifyRefinement/verifyModules wrappers that
+/// used to live here are gone — refine::Validator (Validator.h) is the one
+/// entry point.
 Verdict checkPair(const ir::Function &Src, const ir::Function &Tgt,
-                  const ir::Module *M, const Options &Opts);
+                  const ir::Module *M, const Options &Opts,
+                  support::QueryCache *QC = nullptr);
 } // namespace detail
-
-/// Deprecated: prefer refine::Validator::verifyPair (Validator.h), which
-/// validates the options and supports cooperative cancellation. Kept as a
-/// thin forwarding wrapper so existing callers compile unchanged.
-///
-/// Checks that \p Tgt refines \p Src. \p M provides globals (may be null).
-Verdict verifyRefinement(const ir::Function &Src, const ir::Function &Tgt,
-                         const ir::Module *M, const Options &Opts);
-
-/// Deprecated: prefer refine::Validator::verifyModules (Validator.h), which
-/// can fan pairs out over a worker pool and stream verdicts as they
-/// complete. Kept as a thin forwarding wrapper (sequential, Jobs=1) so
-/// existing callers compile unchanged. Like the Validator batch entry
-/// points, it resets the calling thread's expression context between pairs,
-/// so callers must not hold live smt::Expr handles across the call.
-///
-/// Validates every function pair with matching names across two modules
-/// (the alive-tv behavior).
-std::vector<std::pair<std::string, Verdict>>
-verifyModules(const ir::Module &Src, const ir::Module &Tgt,
-              const Options &Opts);
 
 } // namespace alive::refine
 

@@ -5,10 +5,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "refine/Validator.h"
+#include "refine/Fingerprint.h"
 #include "support/Profile.h"
+#include "support/QueryCache.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 
+#include <chrono>
 #include <future>
 #include <thread>
 
@@ -40,15 +43,31 @@ BatchSummary refine::summarize(const std::vector<PairResult> &Results) {
       ++S.Other;
       break;
     }
+    if (R.V.Cached)
+      ++S.CacheHits;
     S.QueriesRun += R.V.QueriesRun;
     S.Seconds += R.V.Seconds;
   }
   return S;
 }
 
-Validator::Validator(Options Opts) : Opts(std::move(Opts)) {}
+Validator::Validator(Options Opts) : Opts(std::move(Opts)) {
+  if (this->Opts.Cache.anyLevel()) {
+    support::QueryCache::Config C;
+    C.Dir = this->Opts.Cache.Dir;
+    C.MaxEntriesPerShard = this->Opts.Cache.MaxEntriesPerShard;
+    Cache = std::make_unique<support::QueryCache>(std::move(C));
+    // A rejected or unreadable store degrades to a cold cache and is
+    // rewritten on flush — never a reason to fail validation.
+    Cache->load();
+  }
+}
 
 Validator::~Validator() = default;
+
+bool Validator::flushCache(std::string *Err) {
+  return !Cache || Cache->flush(Err);
+}
 
 void Validator::onVerdict(VerdictCallback CB) {
   std::lock_guard<std::mutex> Lock(CallbackMu);
@@ -82,7 +101,52 @@ Verdict Validator::verifyPair(const ir::Function &Src, const ir::Function &Tgt,
   Options O = Opts;
   if (!O.Budget.Cancel)
     O.Budget.Cancel = Cancel.flag();
-  return detail::checkPair(Src, Tgt, M, O);
+
+  support::QueryCache *QC =
+      Cache && Opts.Cache.QueryLevel ? Cache.get() : nullptr;
+  if (!Cache || !Opts.Cache.PairLevel)
+    return detail::checkPair(Src, Tgt, M, O, QC);
+
+  support::Fingerprint Fp;
+  {
+    prof::Span FpSpan("cache_lookup", Src.name());
+    auto Start = std::chrono::steady_clock::now();
+    Fp = fingerprintPair(Src, Tgt, M, O);
+    support::CachedVerdict CV;
+    if (Cache->findPair(Fp, CV)) {
+      Verdict V;
+      V.Kind = (VerdictKind)CV.Kind;
+      V.FailedCheck = CV.FailedCheck;
+      V.Detail = CV.Detail;
+      V.QueriesRun = CV.QueriesRun;
+      V.Cached = true;
+      V.Seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+      if (trace::enabled())
+        trace::Event("verdict")
+            .str("function", Src.name())
+            .str("kind", V.kindName())
+            .str("failed_check", V.FailedCheck)
+            .num("seconds", V.Seconds)
+            .num("queries_run", V.QueriesRun)
+            .flag("cached", true);
+      return V;
+    }
+  }
+
+  Verdict V = detail::checkPair(Src, Tgt, M, O, QC);
+  // Timeouts and memouts are budget artifacts, not facts about the pair:
+  // a warm run must retry them (cancellation surfaces as Timeout too).
+  if (V.Kind != VerdictKind::Timeout && V.Kind != VerdictKind::OutOfMemory) {
+    support::CachedVerdict CV;
+    CV.Kind = (uint8_t)V.Kind;
+    CV.QueriesRun = V.QueriesRun;
+    CV.FailedCheck = V.FailedCheck;
+    CV.Detail = V.Detail;
+    Cache->putPair(Fp, std::move(CV));
+  }
+  return V;
 }
 
 void Validator::runTask(const PairTask &T, unsigned Index, PairResult &Out) {

@@ -55,6 +55,8 @@ struct BatchSummary {
   unsigned OutOfMemory = 0;
   unsigned Unsupported = 0;
   unsigned Other = 0; ///< precondition-false / failed
+  /// Pairs answered wholesale by the pair-level cache (Verdict::Cached).
+  unsigned CacheHits = 0;
   unsigned QueriesRun = 0;
   /// Sum of per-pair wall times (CPU-ish cost; wall clock of a parallel
   /// batch is smaller).
@@ -119,6 +121,16 @@ public:
   bool cancelRequested() const { return Cancel.isCancelled(); }
   void resetCancel() { Cancel.reset(); }
 
+  /// The result cache, shared by every worker of this Validator; null when
+  /// Options::Cache disables both levels. Constructed (and, with a
+  /// configured Dir, loaded) eagerly in the constructor.
+  support::QueryCache *cache() { return Cache.get(); }
+
+  /// Persists the cache to Options::Cache.Dir (no-op otherwise). Also runs
+  /// on destruction; call explicitly to observe failures. \returns false
+  /// with a diagnostic in \p Err on I/O errors.
+  bool flushCache(std::string *Err = nullptr);
+
 private:
   void emit(const PairResult &R);
   /// Runs one task on the current thread (context reset + verifyPair).
@@ -129,6 +141,7 @@ private:
   std::mutex CallbackMu; ///< guards Callback and serializes emissions
   VerdictCallback Callback;
   std::unique_ptr<support::ThreadPool> Pool; ///< lazily sized to Jobs
+  std::unique_ptr<support::QueryCache> Cache;
 };
 
 } // namespace alive::refine

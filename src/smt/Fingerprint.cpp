@@ -1,0 +1,125 @@
+//===- smt/Fingerprint.cpp - Canonical expression fingerprints ---------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Fingerprint.h"
+#include "smt/Simplify.h"
+
+#include <algorithm>
+
+using namespace alive;
+using namespace alive::smt;
+using support::FpHasher;
+using support::fpAccumulateUnordered;
+
+namespace {
+
+/// Domain tags keep the fingerprint spaces of different key kinds disjoint.
+enum : uint64_t {
+  TagExpr = 0x45585052, // "EXPR"
+  TagConj = 0x434f4e4a, // "CONJ"
+  TagQuery = 0x51455246, // "QERF"
+};
+
+/// Memoized post-order walk. A local memo (not a per-context cache) keeps
+/// the API stateless: fingerprints survive resetContext() trivially because
+/// nothing is retained between calls.
+class Walker {
+public:
+  Fingerprint walk(Expr Root) {
+    if (!Root.isValid())
+      return FpHasher(TagExpr).u64(~uint64_t(0)).done();
+    Stack.push_back(Root.id());
+    while (!Stack.empty()) {
+      ExprId Id = Stack.back();
+      if (Memo.count(Id)) {
+        Stack.pop_back();
+        continue;
+      }
+      const Node &N = ExprCtx::get().node(Id);
+      bool ChildrenReady = true;
+      for (ExprId Op : N.Ops)
+        if (!Memo.count(Op)) {
+          Stack.push_back(Op);
+          ChildrenReady = false;
+        }
+      if (!ChildrenReady)
+        continue;
+      Stack.pop_back();
+      FpHasher H(TagExpr);
+      H.u64((uint64_t)N.K).u64(N.Width).u64(N.P0).u64(N.P1);
+      if (N.K == Kind::ConstBV) {
+        H.u64(N.Cst.width());
+        for (unsigned I = 0; I < N.Cst.numWords(); ++I)
+          H.u64(N.Cst.word(I));
+      }
+      H.str(N.Name);
+      H.u64(N.Ops.size());
+      if (detail::isCommutative(N.K) && N.Ops.size() == 2) {
+        // fold() orders commutative operands by ExprId, which depends on
+        // interning history; hash the pair as unordered so the fingerprint
+        // only sees meaning.
+        Fingerprint A = Memo[N.Ops[0]], B = Memo[N.Ops[1]];
+        if (B < A)
+          std::swap(A, B);
+        H.fp(A).fp(B);
+      } else {
+        for (ExprId Op : N.Ops)
+          H.fp(Memo[Op]);
+      }
+      Memo[Id] = H.done();
+    }
+    return Memo[Root.id()];
+  }
+
+private:
+  std::unordered_map<ExprId, Fingerprint> Memo;
+  std::vector<ExprId> Stack;
+};
+
+} // namespace
+
+Fingerprint smt::fingerprint(Expr E) { return Walker().walk(E); }
+
+Fingerprint smt::fingerprintConjunction(const std::vector<Expr> &Es) {
+  // One walker across the members shares the memo over their common
+  // subterms; the member fingerprints themselves combine commutatively.
+  Walker W;
+  Fingerprint Acc;
+  for (Expr E : Es)
+    fpAccumulateUnordered(Acc, W.walk(E));
+  return FpHasher(TagConj).u64(Es.size()).fp(Acc).done();
+}
+
+Fingerprint smt::fingerprintQuery(const EFQuery &Q) {
+  Walker W;
+  Fingerprint Outer;
+  for (Expr E : Q.Outer)
+    fpAccumulateUnordered(Outer, W.walk(E));
+
+  // The inner binder set is canonicalized the same way: unordered
+  // accumulation of per-variable structural fingerprints (name + width),
+  // immune to ExprId assignment order.
+  Fingerprint Inner;
+  for (ExprId V : Q.InnerVars)
+    fpAccumulateUnordered(Inner, W.walk(Expr(V)));
+
+  // Name-prefix lists are semantically sets; sort a copy for canonical
+  // order instead of trusting assembly order.
+  auto hashPrefixes = [](FpHasher &H, std::vector<std::string> Prefixes) {
+    std::sort(Prefixes.begin(), Prefixes.end());
+    H.u64(Prefixes.size());
+    for (const std::string &P : Prefixes)
+      H.str(P);
+  };
+
+  FpHasher H(TagQuery);
+  H.u64(Q.Outer.size()).fp(Outer);
+  H.fp(W.walk(Q.Inner));
+  H.u64(Q.InnerVars.size()).fp(Inner);
+  hashPrefixes(H, Q.InnerAppPrefixes);
+  hashPrefixes(H, Q.AvoidAppPrefixes);
+  return H.done();
+}

@@ -1,0 +1,46 @@
+//===- smt/Fingerprint.h - Canonical expression fingerprints ----*- C++ -*-==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical 128-bit structural fingerprints over the expression DAG and
+/// over whole exists-forall queries, feeding the staged-query level of the
+/// result cache (support/QueryCache.h). A fingerprint depends only on node
+/// structure — kind, width, parameters, constants, names and child
+/// fingerprints in operand order — never on ExprIds, so two structurally
+/// equal terms fingerprint identically regardless of the thread, the
+/// interning order, or the process that built them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE2RE_SMT_FINGERPRINT_H
+#define ALIVE2RE_SMT_FINGERPRINT_H
+
+#include "smt/ExistsForall.h"
+#include "support/Fingerprint.h"
+
+namespace alive::smt {
+
+using support::Fingerprint;
+
+/// Structural fingerprint of one expression. Linear in the DAG size (each
+/// node is hashed once, memoized by id for the duration of the call).
+Fingerprint fingerprint(Expr E);
+
+/// Fingerprint of a conjunction of Bool constraints. Conjunction is a set:
+/// member fingerprints are combined order-independently, so constraint
+/// assembly order does not perturb the key.
+Fingerprint fingerprintConjunction(const std::vector<Expr> &Es);
+
+/// Fingerprint of a full EF query: the outer constraint set, the inner
+/// formula, the inner variable/application binders and the avoid-prefixes
+/// (which steer the returned model and hence the sat-side classification).
+/// Deliberately excludes the instantiation seeds and the budget — they
+/// affect search effort, never the sat/unsat answer or the model class.
+Fingerprint fingerprintQuery(const EFQuery &Q);
+
+} // namespace alive::smt
+
+#endif // ALIVE2RE_SMT_FINGERPRINT_H

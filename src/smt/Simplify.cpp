@@ -38,23 +38,6 @@ bool getBoolConst(ExprId Id, bool &Out) {
   return true;
 }
 
-bool isCommutative(Kind K) {
-  switch (K) {
-  case Kind::And:
-  case Kind::Or:
-  case Kind::Xor:
-  case Kind::Eq:
-  case Kind::Add:
-  case Kind::Mul:
-  case Kind::BAnd:
-  case Kind::BOr:
-  case Kind::BXor:
-    return true;
-  default:
-    return false;
-  }
-}
-
 Expr intern(Node N) { return Expr(ExprCtx::get().intern(std::move(N))); }
 
 /// Folds when every operand is a constant, by evaluating with BitVec.
@@ -459,10 +442,27 @@ static Expr foldRules(Node &N) {
   }
 
   // Canonicalize commutative operand order for better hash-consing.
-  if (isCommutative(N.K) && N.Ops.size() == 2 && N.Ops[0] > N.Ops[1])
+  if (detail::isCommutative(N.K) && N.Ops.size() == 2 && N.Ops[0] > N.Ops[1])
     std::swap(N.Ops[0], N.Ops[1]);
 
   return Expr();
+}
+
+bool smt::detail::isCommutative(Kind K) {
+  switch (K) {
+  case Kind::And:
+  case Kind::Or:
+  case Kind::Xor:
+  case Kind::Eq:
+  case Kind::Add:
+  case Kind::Mul:
+  case Kind::BAnd:
+  case Kind::BOr:
+  case Kind::BXor:
+    return true;
+  default:
+    return false;
+  }
 }
 
 Expr smt::detail::fold(Node N) {

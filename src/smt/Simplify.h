@@ -23,6 +23,11 @@ namespace alive::smt::detail {
 /// Applies local rewrite rules to \p N and interns the result.
 Expr fold(Node N);
 
+/// True for kinds whose binary operands fold() may reorder (it sorts them by
+/// ExprId for hash-consing). Fingerprinting must treat these operand pairs
+/// as unordered: ExprId order depends on interning history, not meaning.
+bool isCommutative(Kind K);
+
 } // namespace alive::smt::detail
 
 #endif // ALIVE2RE_SMT_SIMPLIFY_H

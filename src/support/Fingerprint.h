@@ -1,0 +1,146 @@
+//===- support/Fingerprint.h - 128-bit structural fingerprints --*- C++ -*-==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The key type of the two-level result cache: a 128-bit fingerprint plus a
+/// small streaming hasher for building one from structured data. The layers
+/// above derive fingerprints from *canonical* structure (expression DAGs in
+/// post-order, printed IR text, option fields in a fixed sequence), never
+/// from interning ids or pointer values, so a fingerprint computed on one
+/// thread — or in another process, in another run — matches whenever the
+/// underlying structure matches. Collisions at 128 bits are negligible for
+/// cache-sized populations; the mixing is splitmix64-based and makes no
+/// adversarial-resistance claims.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE2RE_SUPPORT_FINGERPRINT_H
+#define ALIVE2RE_SUPPORT_FINGERPRINT_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace alive::support {
+
+struct Fingerprint {
+  uint64_t Hi = 0, Lo = 0;
+
+  bool isZero() const { return Hi == 0 && Lo == 0; }
+
+  bool operator==(const Fingerprint &O) const {
+    return Hi == O.Hi && Lo == O.Lo;
+  }
+  bool operator!=(const Fingerprint &O) const { return !(*this == O); }
+  bool operator<(const Fingerprint &O) const {
+    return Hi != O.Hi ? Hi < O.Hi : Lo < O.Lo;
+  }
+
+  /// 32 lowercase hex digits, Hi first (the on-disk rendering).
+  std::string hex() const;
+  /// Parses the hex() rendering. \returns false on malformed input.
+  static bool fromHex(std::string_view S, Fingerprint &Out);
+};
+
+inline std::string Fingerprint::hex() const {
+  static const char *Digits = "0123456789abcdef";
+  std::string Out(32, '0');
+  for (unsigned I = 0; I < 16; ++I) {
+    Out[15 - I] = Digits[(Hi >> (4 * I)) & 0xf];
+    Out[31 - I] = Digits[(Lo >> (4 * I)) & 0xf];
+  }
+  return Out;
+}
+
+inline bool Fingerprint::fromHex(std::string_view S, Fingerprint &Out) {
+  if (S.size() != 32)
+    return false;
+  uint64_t V[2] = {0, 0};
+  for (unsigned I = 0; I < 32; ++I) {
+    char C = S[I];
+    unsigned D;
+    if (C >= '0' && C <= '9')
+      D = C - '0';
+    else if (C >= 'a' && C <= 'f')
+      D = C - 'a' + 10;
+    else
+      return false;
+    V[I / 16] = (V[I / 16] << 4) | D;
+  }
+  Out.Hi = V[0];
+  Out.Lo = V[1];
+  return true;
+}
+
+/// splitmix64 finalizer: the bijective mixer both hash lanes build on.
+inline uint64_t fpMix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+/// Streaming 128-bit hasher. Order-sensitive: u64("a"), u64("b") differs
+/// from the reverse. Seed the constructor with a domain tag so fingerprints
+/// of different kinds (query vs pair vs expression) never collide by
+/// construction.
+class FpHasher {
+public:
+  explicit FpHasher(uint64_t DomainTag = 0)
+      : H1(fpMix64(DomainTag ^ 0x8c921a7356fd1e03ull)),
+        H2(fpMix64(DomainTag + 0x2b7e151628aed2a6ull)) {}
+
+  FpHasher &u64(uint64_t W) {
+    H1 = fpMix64(H1 ^ W);
+    H2 = fpMix64(H2 + (W ^ 0xa5a5a5a5a5a5a5a5ull) + (H1 >> 7));
+    return *this;
+  }
+
+  /// Length-prefixed, so str("ab") + str("c") differs from str("a") +
+  /// str("bc").
+  FpHasher &str(std::string_view S) {
+    u64(S.size());
+    uint64_t W = 0;
+    unsigned N = 0;
+    for (unsigned char C : S) {
+      W = (W << 8) | C;
+      if (++N == 8) {
+        u64(W);
+        W = 0;
+        N = 0;
+      }
+    }
+    if (N)
+      u64(W | (uint64_t(N) << 56));
+    return *this;
+  }
+
+  FpHasher &fp(const Fingerprint &F) { return u64(F.Hi).u64(F.Lo); }
+
+  Fingerprint done() const { return {fpMix64(H1 ^ H2), fpMix64(H2 + H1)}; }
+
+private:
+  uint64_t H1, H2;
+};
+
+/// Order-independent accumulation for set-like data (e.g. the inner-bound
+/// variable set of an EF query): lane-wise sums commute, and every element
+/// is a fully mixed fingerprint already.
+inline void fpAccumulateUnordered(Fingerprint &Acc, const Fingerprint &X) {
+  Acc.Hi += X.Hi;
+  Acc.Lo += X.Lo;
+}
+
+/// std::unordered_map adapter (the 128 bits are already mixed).
+struct FingerprintHash {
+  size_t operator()(const Fingerprint &F) const {
+    return (size_t)(F.Hi ^ (F.Lo * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+} // namespace alive::support
+
+#endif // ALIVE2RE_SUPPORT_FINGERPRINT_H

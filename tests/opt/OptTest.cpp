@@ -15,7 +15,7 @@
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "opt/Pass.h"
-#include "refine/Refinement.h"
+#include "refine/Validator.h"
 
 #include "gtest/gtest.h"
 
@@ -48,7 +48,7 @@ PassResult runAndVerify(const char *PassName, const char *SrcIR) {
   refine::Options Opts;
   Opts.UnrollFactor = 4;
   Opts.Budget.TimeoutSec = 20;
-  refine::Verdict V = refine::verifyRefinement(*Before, *F, M.get(), Opts);
+  refine::Verdict V = refine::Validator(Opts).verifyPair(*Before, *F, M.get());
   return {Changed, V, printFunction(*F)};
 }
 
@@ -353,7 +353,7 @@ TEST(Opt, PipelineOnGeneratedCodeIsSound) {
     refine::Options Opts;
     Opts.UnrollFactor = 6;
     Opts.Budget.TimeoutSec = 20;
-    refine::Verdict V = refine::verifyRefinement(*Before, *F, M.get(), Opts);
+    refine::Verdict V = refine::Validator(Opts).verifyPair(*Before, *F, M.get());
     EXPECT_FALSE(V.isIncorrect())
         << "pipeline miscompiled seed " << I << ": " << V.FailedCheck << "\n"
         << printFunction(*Before) << "\n=>\n" << printFunction(*F);

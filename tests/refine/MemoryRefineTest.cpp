@@ -8,7 +8,7 @@
 // globals, and call matching.
 //===----------------------------------------------------------------------===//
 
-#include "refine/Refinement.h"
+#include "refine/Validator.h"
 #include "ir/Parser.h"
 
 #include "gtest/gtest.h"
@@ -25,7 +25,7 @@ Verdict check(const char *SrcIR, const char *TgtIR, Options Opts = Options()) {
   const ir::Function *SF = SrcM->function(SrcM->numFunctions() - 1);
   const ir::Function *TF = TgtM->functionByName(SF->name());
   Opts.Budget.TimeoutSec = 30;
-  return verifyRefinement(*SF, *TF, SrcM.get(), Opts);
+  return Validator(Opts).verifyPair(*SF, *TF, SrcM.get());
 }
 
 #define EXPECT_CORRECT(V)                                                      \

@@ -16,7 +16,7 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "opt/Pass.h"
-#include "refine/Refinement.h"
+#include "refine/Validator.h"
 
 #include "gtest/gtest.h"
 
@@ -34,7 +34,7 @@ refine::Verdict run(const std::string &SrcIR, const std::string &TgtIR,
   refine::Options Opts;
   Opts.UnrollFactor = Unroll;
   Opts.Budget.TimeoutSec = 25;
-  return refine::verifyRefinement(*SF, *TF, SrcM.get(), Opts);
+  return refine::Validator(Opts).verifyPair(*SF, *TF, SrcM.get());
 }
 
 class Reflexivity : public ::testing::TestWithParam<int> {};
@@ -66,7 +66,7 @@ TEST_P(PipelineSoundness, OptimizedCodeRefinesOriginal) {
   refine::Options Opts;
   Opts.UnrollFactor = 4;
   Opts.Budget.TimeoutSec = 25;
-  refine::Verdict V = refine::verifyRefinement(*Before, *F, M.get(), Opts);
+  refine::Verdict V = refine::Validator(Opts).verifyPair(*Before, *F, M.get());
   EXPECT_FALSE(V.isIncorrect())
       << "the correct pipeline miscompiled seed " << Seed << ":\n"
       << ir::printFunction(*Before) << "=>\n" << ir::printFunction(*F)
@@ -128,7 +128,7 @@ TEST(Property, EveryBuggyUnitPairIsNeverMisjudgedAsCorrectlyTransformed) {
     auto TgtM = ir::parseModuleOrDie(P.TgtIR);
     const ir::Function *SF = SrcM->function(SrcM->numFunctions() - 1);
     const ir::Function *TF = TgtM->functionByName(SF->name());
-    refine::Verdict V = refine::verifyRefinement(*SF, *TF, SrcM.get(), Opts);
+    refine::Verdict V = refine::Validator(Opts).verifyPair(*SF, *TF, SrcM.get());
     if (P.ExpectBug)
       EXPECT_FALSE(V.isCorrect()) << P.Name << " judged correct";
     else

@@ -30,7 +30,7 @@ Verdict check(const char *SrcIR, const char *TgtIR, Options Opts = Options()) {
   const ir::Function *SF = SrcM->function(SrcM->numFunctions() - 1);
   const ir::Function *TF = TgtM->functionByName(SF->name());
   Opts.Budget.TimeoutSec = 30;
-  return verifyRefinement(*SF, *TF, SrcM.get(), Opts);
+  return Validator(Opts).verifyPair(*SF, *TF, SrcM.get());
 }
 
 #define EXPECT_CORRECT(V)                                                      \
@@ -376,8 +376,9 @@ entry:
   smt::resetContext();
   auto SrcM = ir::parseModuleOrDie(Src);
   auto TgtM = ir::parseModuleOrDie(Tgt);
-  Verdict V = verifyRefinement(*SrcM->function(0), *TgtM->function(0),
-                               SrcM.get(), O);
+  Verdict V =
+      Validator(O).verifyPair(*SrcM->function(0), *TgtM->function(0),
+                              SrcM.get());
   // Commuted multiplication hash-conses to the same node, so this may
   // verify instantly; both outcomes are acceptable, a wrong verdict is not.
   EXPECT_TRUE(V.isCorrect() || V.Kind == VerdictKind::Timeout)
@@ -608,6 +609,10 @@ TEST(Validator, ModulesSerialAndParallelAgreeExactly) {
   auto TgtM = ir::parseModuleOrDie(BatchTgt);
   Options Opts;
   Opts.Budget.TimeoutSec = 30;
+  // This test replays the same modules and demands byte-identical per-query
+  // effort; any cache level would answer the replay without running the
+  // solver and void the comparison.
+  Opts.Cache = CachePolicy::disabled();
 
   Validator V(Opts);
   std::vector<PairResult> Serial = V.verifyModules(*SrcM, *TgtM, /*Jobs=*/1);
@@ -673,23 +678,32 @@ TEST(Validator, OnVerdictStreamsEveryPair) {
             (std::set<std::string>{"id", "alg", "bad", "shl"}));
 }
 
-TEST(Validator, DeprecatedWrappersMatchFacade) {
-  // The free functions must stay behaviorally identical to the Validator
-  // they forward to (they are kept only for source compatibility).
+TEST(Validator, RepeatedModulesServedFromPairCache) {
+  // The facade is now the only entry point (the free wrapper functions are
+  // gone), and it caches by default: replaying the same modules through the
+  // same Validator must reproduce every verdict without re-running queries.
   auto SrcM = ir::parseModuleOrDie(BatchSrc);
   auto TgtM = ir::parseModuleOrDie(BatchTgt);
   Options Opts;
   Opts.Budget.TimeoutSec = 30;
 
-  auto Wrapped = verifyModules(*SrcM, *TgtM, Opts);
-  std::vector<PairResult> Direct =
-      Validator(Opts).verifyModules(*SrcM, *TgtM, /*Jobs=*/1);
-  ASSERT_EQ(Wrapped.size(), Direct.size());
-  for (size_t I = 0; I < Wrapped.size(); ++I) {
-    EXPECT_EQ(Wrapped[I].first, Direct[I].Name);
-    EXPECT_EQ(Wrapped[I].second.Kind, Direct[I].V.Kind);
-    EXPECT_EQ(Wrapped[I].second.FailedCheck, Direct[I].V.FailedCheck);
+  Validator V(Opts);
+  std::vector<PairResult> Cold = V.verifyModules(*SrcM, *TgtM, /*Jobs=*/1);
+  std::vector<PairResult> Warm = V.verifyModules(*SrcM, *TgtM, /*Jobs=*/1);
+  ASSERT_EQ(Warm.size(), Cold.size());
+  for (size_t I = 0; I < Cold.size(); ++I) {
+    EXPECT_FALSE(Cold[I].V.Cached) << Cold[I].Name;
+    EXPECT_TRUE(Warm[I].V.Cached) << Warm[I].Name;
+    EXPECT_EQ(Warm[I].Name, Cold[I].Name);
+    EXPECT_EQ(Warm[I].V.Kind, Cold[I].V.Kind) << Cold[I].Name;
+    EXPECT_EQ(Warm[I].V.FailedCheck, Cold[I].V.FailedCheck) << Cold[I].Name;
+    EXPECT_EQ(Warm[I].V.Detail, Cold[I].V.Detail) << Cold[I].Name;
+    EXPECT_EQ(Warm[I].V.QueriesRun, Cold[I].V.QueriesRun) << Cold[I].Name;
+    EXPECT_TRUE(Warm[I].V.Queries.empty()) << Cold[I].Name;
   }
+  BatchSummary S = summarize(Warm);
+  EXPECT_EQ(S.CacheHits, Warm.size());
+  EXPECT_EQ(summarize(Cold).CacheHits, 0u);
 }
 
 } // namespace

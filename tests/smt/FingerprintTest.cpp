@@ -1,0 +1,183 @@
+//===- tests/smt/FingerprintTest.cpp ------------------------------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+// Canonical-fingerprint properties the query cache depends on: stability
+// across context resets and interning order, sensitivity to structure, and
+// order-independence where the key is semantically a set.
+//===----------------------------------------------------------------------===//
+
+#include "smt/Fingerprint.h"
+
+#include "gtest/gtest.h"
+
+#include <thread>
+
+using namespace alive;
+using namespace alive::smt;
+using support::Fingerprint;
+
+namespace {
+
+Expr buildSample() {
+  Expr A = mkVar("a", 8), B = mkVar("b", 8);
+  return mkEq(mkAdd(A, B), mkBV(8, 42));
+}
+
+TEST(Fingerprint, StableAcrossContextReset) {
+  smt::resetContext();
+  Fingerprint F1 = fingerprint(buildSample());
+  smt::resetContext();
+  Fingerprint F2 = fingerprint(buildSample());
+  EXPECT_EQ(F1, F2);
+  EXPECT_FALSE(F1.isZero());
+}
+
+TEST(Fingerprint, IndependentOfInterningOrder) {
+  // Interning unrelated junk first shifts every ExprId; the structural
+  // fingerprint must not notice.
+  smt::resetContext();
+  Fingerprint Clean = fingerprint(buildSample());
+  smt::resetContext();
+  for (int I = 0; I < 100; ++I)
+    mkVar("junk" + std::to_string(I), 16);
+  EXPECT_EQ(fingerprint(buildSample()), Clean);
+}
+
+TEST(Fingerprint, CommutativeOperandIdOrderDoesNotMatter) {
+  // fold() sorts commutative operands by ExprId, so the stored child order
+  // of e.g. and(p, q) depends on which variable was interned first. The
+  // fingerprint must hash those pairs as unordered, or a query rebuilt
+  // after different interning history (cold run: solver minted fresh vars;
+  // warm run: it didn't) would miss its own cache entry.
+  smt::resetContext();
+  Expr A1 = mkEq(mkVar("p", 8), mkBV(8, 1));
+  Expr B1 = mkEq(mkVar("q", 8), mkBV(8, 2));
+  Fingerprint F1 = fingerprint(mkAnd(A1, B1)); // ops stored [A1, B1]
+  smt::resetContext();
+  Expr B2 = mkEq(mkVar("q", 8), mkBV(8, 2)); // interned first: lower id
+  Expr A2 = mkEq(mkVar("p", 8), mkBV(8, 1));
+  Fingerprint F2 = fingerprint(mkAnd(A2, B2)); // ops stored [B2, A2]
+  EXPECT_EQ(F1, F2);
+}
+
+TEST(Fingerprint, StableAcrossThreads) {
+  // Each thread has its own context and hands out its own ExprIds; the
+  // fingerprint is what makes results shareable between workers.
+  smt::resetContext();
+  Fingerprint Main = fingerprint(buildSample());
+  Fingerprint FromThread;
+  std::thread T([&] { FromThread = fingerprint(buildSample()); });
+  T.join();
+  EXPECT_EQ(Main, FromThread);
+}
+
+TEST(Fingerprint, DistinguishesStructure) {
+  smt::resetContext();
+  Expr A = mkVar("a", 8), B = mkVar("b", 8);
+  Fingerprint Add = fingerprint(mkAdd(A, B));
+  Fingerprint Mul = fingerprint(mkMul(A, B));
+  Fingerprint Add16 =
+      fingerprint(mkAdd(mkVar("a", 16), mkVar("b", 16)));
+  Fingerprint Renamed = fingerprint(mkAdd(mkVar("c", 8), B));
+  EXPECT_NE(Add, Mul);
+  EXPECT_NE(Add, Add16);
+  EXPECT_NE(Add, Renamed);
+}
+
+TEST(Fingerprint, DistinguishesConstants) {
+  smt::resetContext();
+  EXPECT_NE(fingerprint(mkBV(8, 1)), fingerprint(mkBV(8, 2)));
+  EXPECT_NE(fingerprint(mkBV(8, 1)), fingerprint(mkBV(16, 1)));
+}
+
+TEST(Fingerprint, ConjunctionIsOrderIndependent) {
+  smt::resetContext();
+  Expr A = mkVar("a", 8), B = mkVar("b", 8);
+  Expr C1 = mkEq(A, mkBV(8, 1));
+  Expr C2 = mkEq(B, mkBV(8, 2));
+  Expr C3 = mkNot(mkEq(A, B));
+  Fingerprint Fwd = fingerprintConjunction({C1, C2, C3});
+  Fingerprint Rev = fingerprintConjunction({C3, C1, C2});
+  EXPECT_EQ(Fwd, Rev);
+  // ... but not membership- or size-blind.
+  EXPECT_NE(Fwd, fingerprintConjunction({C1, C2}));
+  EXPECT_NE(Fwd, fingerprintConjunction({C1, C2, C2}));
+}
+
+TEST(Fingerprint, QueryCoversEveryField) {
+  smt::resetContext();
+  Expr X = mkVar("x", 8), Y = mkVar("y", 8);
+
+  EFQuery Q;
+  Q.Outer = {mkEq(X, mkBV(8, 7))};
+  Q.Inner = mkEq(Y, X);
+  Q.InnerVars = {Y.id()};
+  Q.InnerAppPrefixes = {"inner_mem"};
+  Q.AvoidAppPrefixes = {"approx"};
+  Fingerprint Base = fingerprintQuery(Q);
+
+  {
+    EFQuery Q2 = Q;
+    Q2.Outer.push_back(mkEq(X, X));
+    EXPECT_NE(fingerprintQuery(Q2), Base);
+  }
+  {
+    EFQuery Q2 = Q;
+    Q2.Inner = mkNot(Q.Inner);
+    EXPECT_NE(fingerprintQuery(Q2), Base);
+  }
+  {
+    EFQuery Q2 = Q;
+    Q2.InnerVars.insert(X.id());
+    EXPECT_NE(fingerprintQuery(Q2), Base);
+  }
+  {
+    EFQuery Q2 = Q;
+    Q2.InnerAppPrefixes.push_back("more");
+    EXPECT_NE(fingerprintQuery(Q2), Base);
+  }
+  {
+    EFQuery Q2 = Q;
+    Q2.AvoidAppPrefixes.clear();
+    EXPECT_NE(fingerprintQuery(Q2), Base);
+  }
+}
+
+TEST(Fingerprint, QueryPrefixOrderAndSeedsDoNotMatter) {
+  smt::resetContext();
+  Expr X = mkVar("x", 8), Y = mkVar("y", 8);
+  EFQuery Q;
+  Q.Outer = {mkEq(X, mkBV(8, 7))};
+  Q.Inner = mkEq(Y, X);
+  Q.InnerVars = {Y.id()};
+  Q.InnerAppPrefixes = {"b", "a"};
+  Fingerprint Base = fingerprintQuery(Q);
+
+  EFQuery Q2 = Q;
+  Q2.InnerAppPrefixes = {"a", "b"};
+  EXPECT_EQ(fingerprintQuery(Q2), Base);
+
+  // Seeds steer instantiation effort, never the answer: excluded by design
+  // so seeded and unseeded runs share cache entries.
+  EFQuery Q3 = Q;
+  EFQuery::Seed S;
+  S.VarMap[Y.id()] = X;
+  Q3.Seeds.push_back(S);
+  EXPECT_EQ(fingerprintQuery(Q3), Base);
+}
+
+TEST(Fingerprint, HexRoundTrip) {
+  smt::resetContext();
+  Fingerprint F = fingerprint(buildSample());
+  std::string Hex = F.hex();
+  EXPECT_EQ(Hex.size(), 32u);
+  Fingerprint Back;
+  ASSERT_TRUE(Fingerprint::fromHex(Hex, Back));
+  EXPECT_EQ(Back, F);
+  EXPECT_FALSE(Fingerprint::fromHex("xyz", Back));
+  EXPECT_FALSE(Fingerprint::fromHex(Hex.substr(1), Back));
+}
+
+} // namespace

@@ -9,11 +9,13 @@
 /// verdict against its expectation.
 ///
 ///   alive-corpus [--unroll N] [--timeout SEC] [--generated N]
+///                [--cache-dir DIR] [--no-query-cache]
 ///
 //===----------------------------------------------------------------------===//
 
 #include "corpus/Corpus.h"
 #include "ir/Parser.h"
+#include "refine/CLI.h"
 #include "refine/Validator.h"
 
 #include <cstdio>
@@ -26,19 +28,36 @@ int main(int argc, char **argv) {
   Opts.UnrollFactor = 8;
   Opts.Budget.TimeoutSec = 20;
   unsigned Generated = 0;
+  refine::cli::OptionsParser Shared(Opts);
   for (int I = 1; I < argc; ++I) {
-    if (!std::strcmp(argv[I], "--unroll") && I + 1 < argc)
-      Opts.UnrollFactor = (unsigned)std::atoi(argv[++I]);
-    else if (!std::strcmp(argv[I], "--timeout") && I + 1 < argc)
-      Opts.Budget.TimeoutSec = std::atof(argv[++I]);
-    else if (!std::strcmp(argv[I], "--generated") && I + 1 < argc)
-      Generated = (unsigned)std::atoi(argv[++I]);
+    switch (Shared.consume(argc, argv, I)) {
+    case refine::cli::Parsed::Error:
+      return 2;
+    case refine::cli::Parsed::Ok:
+      continue;
+    case refine::cli::Parsed::NotMine:
+      break;
+    }
+    if (!std::strcmp(argv[I], "--generated") && I + 1 < argc) {
+      if (!refine::cli::parseUnsigned(argv[I + 1], Generated)) {
+        std::fprintf(stderr,
+                     "error: --generated expects an integer, got '%s'\n",
+                     argv[I + 1]);
+        return 2;
+      }
+      ++I;
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument '%s'\nusage: alive-corpus "
+                   "[--generated N]\n%s",
+                   argv[I],
+                   refine::cli::optionsUsage(/*IncludeJobs=*/false).c_str());
+      return 2;
+    }
   }
 
-  if (std::string OptErr = Opts.validate(); !OptErr.empty()) {
-    std::fprintf(stderr, "error: invalid options: %s\n", OptErr.c_str());
+  if (!Shared.validate())
     return 2;
-  }
 
   std::vector<corpus::TestPair> Suite = corpus::unitTestSuite();
   if (Generated) {
@@ -86,5 +105,8 @@ int main(int argc, char **argv) {
   }
   std::printf("\n%u agree, %u disagree, %u inconclusive (of %zu)\n", Agree,
               Disagree, Inconclusive, Suite.size());
+  if (std::string CacheErr; !Validator.flushCache(&CacheErr))
+    std::fprintf(stderr, "warning: cannot write cache: %s\n",
+                 CacheErr.c_str());
   return Disagree ? 1 : 0;
 }

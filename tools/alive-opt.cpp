@@ -8,13 +8,15 @@
 /// and validates every transformation.
 ///
 ///   alive-opt in.ll --passes=instcombine,dce [--tv] [--batch]
-///             [--unroll N] [--timeout SEC]
+///             [--unroll N] [--timeout SEC] [--cache-dir DIR]
+///             [--no-query-cache]
 ///
 //===----------------------------------------------------------------------===//
 
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "opt/Pass.h"
+#include "refine/CLI.h"
 #include "refine/Validator.h"
 
 #include <cstdio>
@@ -24,12 +26,28 @@
 
 using namespace alive;
 
+static void usage() {
+  std::fprintf(stderr,
+               "usage: alive-opt <in.ll> [--passes=a,b] [--tv] [--batch] "
+               "[--no-print]\n%s",
+               refine::cli::optionsUsage(/*IncludeJobs=*/false).c_str());
+}
+
 int main(int argc, char **argv) {
   const char *InPath = nullptr;
   std::vector<std::string> Passes = opt::defaultPipeline();
   bool TV = false, Batch = false, PrintResult = true;
   refine::Options Opts;
+  refine::cli::OptionsParser Shared(Opts);
   for (int I = 1; I < argc; ++I) {
+    switch (Shared.consume(argc, argv, I)) {
+    case refine::cli::Parsed::Error:
+      return 2;
+    case refine::cli::Parsed::Ok:
+      continue;
+    case refine::cli::Parsed::NotMine:
+      break;
+    }
     if (!std::strncmp(argv[I], "--passes=", 9)) {
       Passes.clear();
       std::string List = argv[I] + 9;
@@ -47,10 +65,10 @@ int main(int argc, char **argv) {
       Batch = true;
     } else if (!std::strcmp(argv[I], "--no-print")) {
       PrintResult = false;
-    } else if (!std::strcmp(argv[I], "--unroll") && I + 1 < argc) {
-      Opts.UnrollFactor = (unsigned)std::atoi(argv[++I]);
-    } else if (!std::strcmp(argv[I], "--timeout") && I + 1 < argc) {
-      Opts.Budget.TimeoutSec = std::atof(argv[++I]);
+    } else if (argv[I][0] == '-' && argv[I][1] != '\0') {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[I]);
+      usage();
+      return 2;
     } else if (!InPath) {
       InPath = argv[I];
     } else {
@@ -59,10 +77,11 @@ int main(int argc, char **argv) {
     }
   }
   if (!InPath) {
-    std::fprintf(stderr, "usage: alive-opt <in.ll> [--passes=a,b] [--tv] "
-                         "[--batch] [--unroll N] [--timeout SEC]\n");
+    usage();
     return 2;
   }
+  if (!Shared.validate())
+    return 2;
   std::ifstream In(InPath);
   if (!In) {
     std::fprintf(stderr, "error: cannot read '%s'\n", InPath);
@@ -74,11 +93,6 @@ int main(int argc, char **argv) {
   auto M = ir::parseModule(SS.str(), Err);
   if (!M) {
     std::fprintf(stderr, "%s: %s\n", InPath, Err.str().c_str());
-    return 2;
-  }
-
-  if (std::string OptErr = Opts.validate(); !OptErr.empty()) {
-    std::fprintf(stderr, "error: invalid options: %s\n", OptErr.c_str());
     return 2;
   }
 
@@ -100,6 +114,9 @@ int main(int argc, char **argv) {
     };
   }
   opt::runPipeline(*M, Passes, Hook, Batch);
+  if (std::string CacheErr; !Validator.flushCache(&CacheErr))
+    std::fprintf(stderr, "warning: cannot write cache: %s\n",
+                 CacheErr.c_str());
   if (PrintResult)
     std::printf("%s", ir::printModule(*M).c_str());
   return Failures ? 1 : 0;

@@ -8,20 +8,20 @@
 /// checks refinement between every function name present in both.
 ///
 ///   alive-tv src.ll tgt.ll [-j N] [--unroll N] [--timeout SEC]
-///            [--equivalence] [--stats] [--json] [--trace-out FILE]
+///            [--equivalence] [--cache-dir DIR] [--no-query-cache]
+///            [--stats] [--json] [--trace-out FILE]
 ///            [--profile] [--profile-out FILE] [--slow-query-ms N]
 ///
 //===----------------------------------------------------------------------===//
 
 #include "ir/Parser.h"
+#include "refine/CLI.h"
 #include "refine/Validator.h"
 #include "support/Profile.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -38,39 +38,15 @@ static bool readFile(const char *Path, std::string &Out) {
   return true;
 }
 
-/// Parses a non-negative integer; rejects trailing garbage ("3x") and
-/// negative values. Semantic range checks (e.g. a zero unroll factor) are
-/// Options::validate()'s job, not the flag parser's.
-static bool parseUnsigned(const char *S, unsigned &Out) {
-  errno = 0;
-  char *End = nullptr;
-  long V = std::strtol(S, &End, 10);
-  if (End == S || *End != '\0' || errno == ERANGE || V < 0 || V > 0x7fffffff)
-    return false;
-  Out = (unsigned)V;
-  return true;
-}
-
-/// Parses a decimal number (seconds); range-checked by Options::validate().
-static bool parseDouble(const char *S, double &Out) {
-  errno = 0;
-  char *End = nullptr;
-  double V = std::strtod(S, &End);
-  if (End == S || *End != '\0' || errno == ERANGE)
-    return false;
-  Out = V;
-  return true;
-}
-
 static void usage() {
   std::fprintf(stderr,
                "usage: alive-tv <src.ll> <tgt.ll> [-j N] [--unroll N] "
                "[--timeout SEC] [--equivalence]\n"
-               "                [--stats] [--json] [--trace-out FILE] "
-               "[--profile] [--profile-out FILE]\n"
-               "                [--slow-query-ms N]\n"
-               "  -j N             verify pairs on N parallel workers "
-               "(0 = one per hardware thread)\n"
+               "                [--cache-dir DIR] [--no-query-cache] "
+               "[--stats] [--json] [--trace-out FILE]\n"
+               "                [--profile] [--profile-out FILE] "
+               "[--slow-query-ms N]\n"
+               "%s"
                "  --stats          print the statistics registry after "
                "verification\n"
                "  --json           emit a machine-readable per-pair summary "
@@ -81,30 +57,35 @@ static void usage() {
                "  --profile-out FILE  write a Chrome trace-event profile "
                "(Perfetto / chrome://tracing)\n"
                "  --slow-query-ms N   log path + cost of staged queries "
-               "slower than N ms to stderr\n");
+               "slower than N ms to stderr\n",
+               refine::cli::optionsUsage(/*IncludeJobs=*/true).c_str());
 }
 
 /// Renders one verdict's JSON object (without trailing newline/comma).
 static void printPairJson(const std::string &Name, const refine::Verdict &V) {
   std::printf("    {\"function\": \"%s\", \"verdict\": \"%s\", "
               "\"failed_check\": \"%s\", \"detail\": \"%s\", "
-              "\"seconds\": %.6f, \"queries_run\": %u, \"queries\": [",
+              "\"seconds\": %.6f, \"queries_run\": %u, \"cached\": %s, "
+              "\"queries\": [",
               trace::jsonEscape(Name).c_str(), V.kindName(),
               trace::jsonEscape(V.FailedCheck).c_str(),
-              trace::jsonEscape(V.Detail).c_str(), V.Seconds, V.QueriesRun);
+              trace::jsonEscape(V.Detail).c_str(), V.Seconds, V.QueriesRun,
+              V.Cached ? "true" : "false");
   bool FirstQ = true;
   for (const refine::QueryStats &Q : V.Queries) {
     std::printf("%s\n      {\"check\": \"%s\", \"result\": \"%s\", "
                 "\"seconds\": %.6f, \"solver_seconds\": %.6f, "
                 "\"sat_checks\": %u, \"ef_iterations\": %u, "
                 "\"conflicts\": %llu, \"decisions\": %llu, "
-                "\"propagations\": %llu, \"clauses\": %zu}",
+                "\"propagations\": %llu, \"clauses\": %zu, "
+                "\"cache_hit\": %s}",
                 FirstQ ? "" : ",", trace::jsonEscape(Q.Check).c_str(),
                 trace::jsonEscape(Q.Result).c_str(), Q.Seconds,
                 Q.SolverSeconds, Q.SatChecks, Q.EFIterations,
                 (unsigned long long)Q.Conflicts,
                 (unsigned long long)Q.Decisions,
-                (unsigned long long)Q.Propagations, Q.Clauses);
+                (unsigned long long)Q.Propagations, Q.Clauses,
+                Q.CacheHit ? "true" : "false");
     FirstQ = false;
   }
   std::printf("%s]}", FirstQ ? "" : "\n    ");
@@ -141,33 +122,17 @@ int main(int argc, char **argv) {
   double SlowQueryMs = -1;
   unsigned Jobs = 1;
   refine::Options Opts;
+  refine::cli::OptionsParser Shared(Opts, &Jobs);
   for (int I = 1; I < argc; ++I) {
-    if (!std::strcmp(argv[I], "--unroll") && I + 1 < argc) {
-      const char *Arg = argv[++I];
-      if (!parseUnsigned(Arg, Opts.UnrollFactor)) {
-        std::fprintf(stderr,
-                     "error: --unroll expects an integer, got '%s'\n", Arg);
-        return 2;
-      }
-    } else if (!std::strcmp(argv[I], "--timeout") && I + 1 < argc) {
-      const char *Arg = argv[++I];
-      if (!parseDouble(Arg, Opts.Budget.TimeoutSec)) {
-        std::fprintf(
-            stderr,
-            "error: --timeout expects a number of seconds, got '%s'\n", Arg);
-        return 2;
-      }
-    } else if ((!std::strcmp(argv[I], "-j") ||
-                !std::strcmp(argv[I], "--jobs")) &&
-               I + 1 < argc) {
-      const char *Arg = argv[++I];
-      if (!parseUnsigned(Arg, Jobs)) {
-        std::fprintf(stderr, "error: -j expects an integer, got '%s'\n", Arg);
-        return 2;
-      }
-    } else if (!std::strcmp(argv[I], "--equivalence")) {
-      Opts.EquivalenceMode = true;
-    } else if (!std::strcmp(argv[I], "--stats")) {
+    switch (Shared.consume(argc, argv, I)) {
+    case refine::cli::Parsed::Error:
+      return 2;
+    case refine::cli::Parsed::Ok:
+      continue;
+    case refine::cli::Parsed::NotMine:
+      break;
+    }
+    if (!std::strcmp(argv[I], "--stats")) {
       ShowStats = true;
     } else if (!std::strcmp(argv[I], "--json")) {
       Json = true;
@@ -179,7 +144,7 @@ int main(int argc, char **argv) {
       ProfileOut = argv[++I];
     } else if (!std::strcmp(argv[I], "--slow-query-ms") && I + 1 < argc) {
       const char *Arg = argv[++I];
-      if (!parseDouble(Arg, SlowQueryMs) || SlowQueryMs < 0) {
+      if (!refine::cli::parseDouble(Arg, SlowQueryMs) || SlowQueryMs < 0) {
         std::fprintf(
             stderr,
             "error: --slow-query-ms expects a non-negative number, got "
@@ -187,11 +152,7 @@ int main(int argc, char **argv) {
             Arg);
         return 2;
       }
-    } else if (!std::strcmp(argv[I], "--unroll") ||
-               !std::strcmp(argv[I], "--timeout") ||
-               !std::strcmp(argv[I], "-j") ||
-               !std::strcmp(argv[I], "--jobs") ||
-               !std::strcmp(argv[I], "--trace-out") ||
+    } else if (!std::strcmp(argv[I], "--trace-out") ||
                !std::strcmp(argv[I], "--profile-out") ||
                !std::strcmp(argv[I], "--slow-query-ms")) {
       std::fprintf(stderr, "error: %s requires a value\n", argv[I]);
@@ -214,10 +175,8 @@ int main(int argc, char **argv) {
     usage();
     return 2;
   }
-  if (std::string Err = Opts.validate(); !Err.empty()) {
-    std::fprintf(stderr, "error: invalid options: %s\n", Err.c_str());
+  if (!Shared.validate())
     return 2;
-  }
 
   if (TraceOut && !trace::openFile(TraceOut)) {
     std::fprintf(stderr, "error: cannot open trace file '%s'\n", TraceOut);
@@ -258,6 +217,11 @@ int main(int argc, char **argv) {
 
   refine::Validator Validator(Opts);
   auto Results = Validator.verifyModules(*SrcM, *TgtM, Jobs);
+  // Persist the cache before reporting so --json's stats snapshot includes
+  // the disk counters; a flush failure is a warning, not a failed run.
+  if (std::string CacheErr; !Validator.flushCache(&CacheErr))
+    std::fprintf(stderr, "warning: cannot write cache: %s\n",
+                 CacheErr.c_str());
   int Failures = 0;
   if (Json) {
     std::printf("{\n  \"src\": \"%s\",\n  \"tgt\": \"%s\",\n  \"pairs\": [\n",
@@ -280,20 +244,21 @@ int main(int argc, char **argv) {
     for (const auto &[Name, Index, V] : Results) {
       (void)Index;
       std::printf("---- @%s ----\n", Name.c_str());
+      const char *Cached = V.Cached ? " (cached)" : "";
       switch (V.Kind) {
       case refine::VerdictKind::Correct:
         std::printf(
-            "Transformation seems to be correct!  (%.2fs, %u queries)\n",
-            V.Seconds, V.QueriesRun);
+            "Transformation seems to be correct!%s  (%.2fs, %u queries)\n",
+            Cached, V.Seconds, V.QueriesRun);
         break;
       case refine::VerdictKind::Incorrect:
         ++Failures;
-        std::printf("Transformation doesn't verify!\nERROR: %s\n%s\n",
-                    V.FailedCheck.c_str(), V.Detail.c_str());
+        std::printf("Transformation doesn't verify!%s\nERROR: %s\n%s\n",
+                    Cached, V.FailedCheck.c_str(), V.Detail.c_str());
         break;
       default:
-        std::printf("%s: %s (%s)\n", V.kindName(), V.FailedCheck.c_str(),
-                    V.Detail.c_str());
+        std::printf("%s%s: %s (%s)\n", V.kindName(), Cached,
+                    V.FailedCheck.c_str(), V.Detail.c_str());
         break;
       }
     }
