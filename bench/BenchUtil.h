@@ -22,44 +22,6 @@
 
 namespace alive::bench {
 
-/// Figure 7's outcome buckets.
-struct Tally {
-  unsigned Valid = 0;       // proved correct
-  unsigned Violations = 0;  // refinement failures
-  unsigned Timeout = 0;
-  unsigned Oom = 0;
-  unsigned Unsupported = 0; // over-approximation involved / skipped
-  unsigned Other = 0;
-  double Seconds = 0;
-
-  void add(const refine::Verdict &V) {
-    Seconds += V.Seconds;
-    switch (V.Kind) {
-    case refine::VerdictKind::Correct:
-      ++Valid;
-      break;
-    case refine::VerdictKind::Incorrect:
-      ++Violations;
-      break;
-    case refine::VerdictKind::Timeout:
-      ++Timeout;
-      break;
-    case refine::VerdictKind::OutOfMemory:
-      ++Oom;
-      break;
-    case refine::VerdictKind::Unsupported:
-      ++Unsupported;
-      break;
-    default:
-      ++Other;
-      break;
-    }
-  }
-  unsigned total() const {
-    return Valid + Violations + Timeout + Oom + Unsupported + Other;
-  }
-};
-
 inline refine::Verdict runPair(const corpus::TestPair &P,
                                const refine::Options &Opts) {
   smt::resetContext();

@@ -34,12 +34,12 @@ int main() {
     Opts.UnrollFactor = 4;
     Opts.Budget.TimeoutSec = 5;
     Opts.UseInstantiationSeeds = Seeds;
-    Tally T;
+    refine::BatchSummary T;
     Stopwatch Timer;
     for (const auto &P : Suite)
-      T.add(runPair(P, Opts));
+      T.countVerdict(runPair(P, Opts));
     std::printf("%-10s %-10u %-12u %-14u %-8.1f\n", Seeds ? "on" : "off",
-                T.Valid, T.Violations, T.total() - T.Valid - T.Violations,
+                T.Correct, T.Incorrect, T.Pairs - T.Correct - T.Incorrect,
                 Timer.seconds());
   }
   std::printf("\n(expected: disabling the instantiation machinery turns "

@@ -31,12 +31,12 @@ int main() {
     refine::Options Opts;
     Opts.UnrollFactor = U;
     Opts.Budget.TimeoutSec = 15;
-    Tally T;
+    refine::BatchSummary T;
     Stopwatch Timer;
     for (const auto &P : Suite)
-      T.add(runPair(P, Opts));
-    std::printf("%-8u %-10u %-12u %-10u %-8.1f\n", U, T.Valid, T.Violations,
-                T.total() - T.Valid - T.Violations, Timer.seconds());
+      T.countVerdict(runPair(P, Opts));
+    std::printf("%-8u %-10u %-12u %-10u %-8.1f\n", U, T.Correct, T.Incorrect,
+                T.Pairs - T.Correct - T.Incorrect, Timer.seconds());
   }
   std::printf("\n(paper: ~19k correct, 70..120 incorrect rising with the "
               "bound, linear time)\n");

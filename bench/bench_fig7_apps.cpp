@@ -36,7 +36,7 @@ int main() {
     Opts.Budget.TimeoutSec = 10;
 
     unsigned Pairs = 0, Diff = 0;
-    Tally T;
+    refine::BatchSummary T;
     Stopwatch Timer;
     ir::Module *MPtr = M.get();
     refine::Validator Validator(Opts);
@@ -45,7 +45,7 @@ int main() {
                            const std::string &) {
       ++Diff;
       smt::resetContext();
-      T.add(Validator.verifyPair(Before, After, MPtr));
+      T.countVerdict(Validator.verifyPair(Before, After, MPtr));
     };
     // The honest -O2 pipeline plus the in-the-wild select miscompilation
     // (first, before instcombine canonicalizes its trigger pattern away).
@@ -56,7 +56,7 @@ int main() {
 
     std::printf("%-9s %-5u %-7u %-6u %-9.1f %-6u %-8u %-4u %-4u %-7u\n",
                 Spec.Name.c_str(), Spec.KLoc, Pairs, Diff, Timer.seconds(),
-                T.Valid, T.Violations, T.Timeout, T.Oom,
+                T.Correct, T.Incorrect, T.Timeout, T.OutOfMemory,
                 T.Unsupported + T.Other);
   }
   std::printf("\n(paper shape: most pairs validate; a small violation "

@@ -30,15 +30,15 @@ int main() {
     refine::Options Opts;
     Opts.UnrollFactor = 8;
     Opts.Budget.TimeoutSec = Sec;
-    Tally T;
+    refine::BatchSummary T;
     // Per-sweep numbers come from the stats registry, not an ad-hoc
     // stopwatch: reset, run, snapshot.
     stats::Registry::get().reset();
     for (const auto &P : Suite)
-      T.add(runPair(P, Opts));
+      T.countVerdict(runPair(P, Opts));
     stats::Snapshot S = stats::Registry::get().snapshot();
     std::printf("%-12.2f %-10u %-12u %-10u %-10llu %-10llu %-8.1f\n", Sec,
-                T.Valid, T.Violations, T.total() - T.Valid - T.Violations,
+                T.Correct, T.Incorrect, T.Pairs - T.Correct - T.Incorrect,
                 (unsigned long long)S.counter("refine.queries"),
                 (unsigned long long)S.counter("sat.conflicts"),
                 distSum(S, "time.verify"));

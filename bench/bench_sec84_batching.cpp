@@ -35,7 +35,7 @@ int main() {
     // Solver effort is the measurement; the result cache would serve
     // repeats for free and skew it.
     Opts.Cache = refine::CachePolicy::disabled();
-    Tally T;
+    refine::BatchSummary T;
     unsigned Checks = 0;
     Stopwatch Timer;
     ir::Module *MPtr = M.get();
@@ -44,13 +44,13 @@ int main() {
                            const ir::Function &After, const std::string &) {
       ++Checks;
       smt::resetContext();
-      T.add(Validator.verifyPair(Before, After, MPtr));
+      T.countVerdict(Validator.verifyPair(Before, After, MPtr));
     };
     opt::runPipeline(*M, opt::defaultPipeline(), Hook, Batch);
     std::printf("%-10s checks=%-4u valid=%-4u viol=%-3u other=%-3u "
                 "time=%.1fs\n",
-                Batch ? "batched" : "per-pass", Checks, T.Valid,
-                T.Violations, T.total() - T.Valid - T.Violations,
+                Batch ? "batched" : "per-pass", Checks, T.Correct,
+                T.Incorrect, T.Pairs - T.Correct - T.Incorrect,
                 Timer.seconds());
   }
 

@@ -35,6 +35,27 @@ bool cli::parseDouble(const char *S, double &Out) {
   return true;
 }
 
+bool cli::parseDuration(const char *S, double &Out) {
+  errno = 0;
+  char *End = nullptr;
+  double V = std::strtod(S, &End);
+  if (End == S || errno == ERANGE)
+    return false;
+  double Scale = 1;
+  if (!std::strcmp(End, "ms"))
+    Scale = 1e-3;
+  else if (!std::strcmp(End, "s") || !*End)
+    Scale = 1;
+  else if (!std::strcmp(End, "m"))
+    Scale = 60;
+  else if (!std::strcmp(End, "h"))
+    Scale = 3600;
+  else
+    return false;
+  Out = V * Scale;
+  return true;
+}
+
 std::string cli::optionsUsage(bool IncludeJobs) {
   std::string U;
   if (IncludeJobs)
@@ -46,7 +67,18 @@ std::string cli::optionsUsage(bool IncludeJobs) {
        "  --cache-dir DIR  persist the result cache to DIR/alive2re.cache "
        "(warm runs skip\n"
        "                   unchanged pairs and report them as cached)\n"
-       "  --no-query-cache disable the result cache entirely\n";
+       "  --no-query-cache disable the result cache entirely\n"
+       "  --retry N        budget-escalation ladder: retry timed-out pairs "
+       "up to N times,\n"
+       "                   multiplying the solver budget by 4 per rung "
+       "(default 0 = off)\n"
+       "  --deadline DUR   total wall-clock deadline for the whole run "
+       "(\"30s\", \"5m\");\n"
+       "                   pairs not dispatched in time are reported as "
+       "deadline-skipped\n"
+       "  --mem-limit MB   memory watchdog: cancel the longest-running pair "
+       "when process\n"
+       "                   RSS exceeds MB megabytes (0 = off)\n";
   return U;
 }
 
@@ -103,6 +135,42 @@ Parsed OptionsParser::consume(int Argc, char **Argv, int &I) {
     // Levels only: a later --cache-dir must not be wiped (and vice versa a
     // kept Dir is inert while both levels are off).
     Opts.Cache.QueryLevel = Opts.Cache.PairLevel = false;
+    return Parsed::Ok;
+  }
+  if (!std::strcmp(A, "--retry")) {
+    if (!value())
+      return Parsed::Error;
+    if (!parseUnsigned(Val, Opts.Retry.MaxRungs)) {
+      std::fprintf(stderr, "error: --retry expects an integer, got '%s'\n",
+                   Val);
+      return Parsed::Error;
+    }
+    return Parsed::Ok;
+  }
+  if (!std::strcmp(A, "--deadline")) {
+    if (!value())
+      return Parsed::Error;
+    if (!parseDuration(Val, Opts.DeadlineSec)) {
+      std::fprintf(
+          stderr,
+          "error: --deadline expects a duration (e.g. 30s, 5m), got '%s'\n",
+          Val);
+      return Parsed::Error;
+    }
+    return Parsed::Ok;
+  }
+  if (!std::strcmp(A, "--mem-limit")) {
+    if (!value())
+      return Parsed::Error;
+    unsigned Mb = 0;
+    if (!parseUnsigned(Val, Mb)) {
+      std::fprintf(stderr,
+                   "error: --mem-limit expects an integer number of "
+                   "megabytes, got '%s'\n",
+                   Val);
+      return Parsed::Error;
+    }
+    Opts.MaxRssBytes = (size_t)Mb << 20;
     return Parsed::Ok;
   }
   if (Jobs && (!std::strcmp(A, "-j") || !std::strcmp(A, "--jobs"))) {

@@ -33,6 +33,10 @@ bool parseUnsigned(const char *S, unsigned &Out);
 /// Parses a decimal number (seconds); range-checked by Options::validate().
 bool parseDouble(const char *S, double &Out);
 
+/// Parses a wall-clock duration into seconds: a plain number means seconds,
+/// and an "ms" / "s" / "m" / "h" suffix scales it ("30s", "1.5m", "250ms").
+bool parseDuration(const char *S, double &Out);
+
 /// Outcome of offering one argv slot to the shared parser.
 enum class Parsed {
   NotMine, ///< not a shared flag: the tool handles it

@@ -1,0 +1,50 @@
+//===- refine/Outcome.cpp - Verdict and query-result spellings ----------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+// The only home of the verdict-kind and query-result spellings used by
+// --json output, trace events and the tools. ReasonTest's grep allowlists
+// this file; everything else goes through kindName()/toString().
+//===----------------------------------------------------------------------===//
+
+#include "refine/Refinement.h"
+
+using namespace alive;
+using namespace alive::refine;
+
+const char *Verdict::kindName() const {
+  switch (Kind) {
+  case VerdictKind::Correct:
+    return "correct";
+  case VerdictKind::Incorrect:
+    return "incorrect";
+  case VerdictKind::Timeout:
+    return "timeout";
+  case VerdictKind::OutOfMemory:
+    return "oom";
+  case VerdictKind::Unsupported:
+    return "unsupported";
+  case VerdictKind::PreconditionFalse:
+    return "precondition-false";
+  case VerdictKind::Failed:
+    return "failed";
+  case VerdictKind::DeadlineSkipped:
+    return "deadline-skipped";
+  }
+  return "?";
+}
+
+const char *refine::toString(QueryResult R) {
+  switch (R) {
+  case QueryResult::Unknown:
+    return "unknown";
+  case QueryResult::Unsat:
+    return "unsat";
+  case QueryResult::Sat:
+    return "sat";
+  case QueryResult::BudgetExhausted:
+    return "budget-exhausted";
+  }
+  return "?";
+}

@@ -46,27 +46,16 @@ std::string Options::validate() const {
     return "solver memory budget (MaxLiterals) must be nonzero";
   if (Budget.MaxConflicts == 0)
     return "solver conflict budget (MaxConflicts) must be nonzero";
+  if (Retry.MaxRungs > 8)
+    return "retry ladder supports at most 8 rungs";
+  if (Retry.MaxRungs > 0 &&
+      (!(Retry.Multiplier > 1) || !std::isfinite(Retry.Multiplier)))
+    return "retry multiplier must be a finite number greater than 1";
+  if (DeadlineSec < 0 || !std::isfinite(DeadlineSec))
+    return "deadline must be a non-negative, finite number of seconds";
+  if (!(GovernorSampleSec > 0) || !std::isfinite(GovernorSampleSec))
+    return "governor sample interval must be positive and finite";
   return "";
-}
-
-const char *Verdict::kindName() const {
-  switch (Kind) {
-  case VerdictKind::Correct:
-    return "correct";
-  case VerdictKind::Incorrect:
-    return "incorrect";
-  case VerdictKind::Timeout:
-    return "timeout";
-  case VerdictKind::OutOfMemory:
-    return "oom";
-  case VerdictKind::Unsupported:
-    return "unsupported";
-  case VerdictKind::PreconditionFalse:
-    return "precondition-false";
-  case VerdictKind::Failed:
-    return "failed";
-  }
-  return "?";
 }
 
 namespace {
@@ -136,12 +125,16 @@ private:
   std::vector<QueryStats> QStats;
 
   Verdict verdict(VerdictKind K, std::string Check = "",
-                  std::string Detail = "") {
+                  std::string Detail = "", Reason Why = Reason::None) {
     Verdict V;
     V.Kind = K;
     V.FailedCheck = std::move(Check);
     V.Detail = std::move(Detail);
+    V.Why = Why;
     V.Seconds = Timer.seconds();
+    // A single attempt is its own cumulative cost; the Validator's retry
+    // ladder overwrites this with the whole-ladder sum.
+    V.CumulativeSeconds = V.Seconds;
     V.QueriesRun = Queries;
     V.Queries = std::move(QStats);
     return V;
@@ -154,7 +147,7 @@ private:
     if (trace::enabled())
       trace::Event("query")
           .str("check", QS.Check)
-          .str("result", QS.Result)
+          .str("result", toString(QS.Result))
           .num("seconds", QS.Seconds)
           .num("solver_seconds", QS.SolverSeconds)
           .num("sat_checks", QS.SatChecks)
@@ -214,8 +207,9 @@ RefinementCheck::runQuery(const std::string &CheckName,
     QueryFp = fingerprintQuery(Q);
     support::CachedQuery Hit;
     if (QC->findQuery(QueryFp, Hit)) {
-      QS.Result =
-          Hit.Result == support::CachedQueryResult::Unsat ? "unsat" : "sat";
+      QS.Result = Hit.Result == support::CachedQueryResult::Unsat
+                      ? QueryResult::Unsat
+                      : QueryResult::Sat;
       QS.Seconds = QTimer.seconds();
       QS.CacheHit = true;
       recordQuery(std::move(QS));
@@ -233,19 +227,20 @@ RefinementCheck::runQuery(const std::string &CheckName,
   SolverBudget B = Opts.Budget;
   double Remaining = B.TimeoutSec - Timer.seconds();
   if (Remaining <= 0) {
-    QS.Result = "budget-exhausted";
+    QS.Result = QueryResult::BudgetExhausted;
     QS.Seconds = QTimer.seconds();
     recordQuery(std::move(QS));
-    return verdict(VerdictKind::Timeout, CheckName, "query budget exhausted");
+    return verdict(VerdictKind::Timeout, CheckName, "query budget exhausted",
+                   Reason::BudgetExhausted);
   }
   B.TimeoutSec = Remaining;
 
   EFOutcome R = solveExistsForall(Q, B);
   if (debugEnabled())
     fprintf(stderr, "[refine] query returned res=%d\n", (int)R.Res);
-  QS.Result = R.Res == SatResult::Unsat  ? "unsat"
-              : R.Res == SatResult::Sat  ? "sat"
-                                         : "unknown";
+  QS.Result = R.Res == SatResult::Unsat ? QueryResult::Unsat
+              : R.Res == SatResult::Sat ? QueryResult::Sat
+                                        : QueryResult::Unknown;
   QS.Seconds = QTimer.seconds();
   QS.SolverSeconds = R.Cost.Seconds;
   QS.SatChecks = R.Cost.Checks;
@@ -262,10 +257,13 @@ RefinementCheck::runQuery(const std::string &CheckName,
     return std::nullopt; // this check passes
   case SatResult::Unknown:
     // Unknowns are budget artifacts, never cached: a rerun (or a bigger
-    // budget) may decide them.
-    if (R.UnknownReason == "memory")
-      return verdict(VerdictKind::OutOfMemory, CheckName, R.UnknownReason);
-    return verdict(VerdictKind::Timeout, CheckName, R.UnknownReason);
+    // budget) may decide them. The detail is the reason's spelling, so the
+    // verdict text is unchanged from the stringly-typed days.
+    if (R.UnknownReason == Reason::Memory)
+      return verdict(VerdictKind::OutOfMemory, CheckName,
+                     toString(R.UnknownReason), R.UnknownReason);
+    return verdict(VerdictKind::Timeout, CheckName, toString(R.UnknownReason),
+                   R.UnknownReason);
   case SatResult::Sat:
     break;
   }
@@ -423,7 +421,7 @@ Verdict RefinementCheck::run() {
       }
     }
     if (Hit) {
-      QS.Result = HitSat ? "sat" : "unsat";
+      QS.Result = HitSat ? QueryResult::Sat : QueryResult::Unsat;
       QS.Seconds = QTimer.seconds();
       QS.CacheHit = true;
       recordQuery(std::move(QS));
@@ -436,7 +434,9 @@ Verdict RefinementCheck::run() {
         S.add(E);
       SolverBudget B = Opts.Budget;
       SolveOutcome R = S.check(B);
-      QS.Result = R.isUnsat() ? "unsat" : R.isSat() ? "sat" : "unknown";
+      QS.Result = R.isUnsat() ? QueryResult::Unsat
+                  : R.isSat() ? QueryResult::Sat
+                              : QueryResult::Unknown;
       QS.Seconds = QTimer.seconds();
       QS.SolverSeconds = R.Stats.Seconds;
       QS.SatChecks = R.Stats.Checks;
@@ -584,7 +584,7 @@ Verdict RefinementCheck::run() {
 
 Verdict refine::detail::checkPair(const Function &Src, const Function &Tgt,
                                   const Module *M, const Options &Opts,
-                                  support::QueryCache *QC) {
+                                  support::QueryCache *QC, unsigned Rung) {
   ALIVE_STAT_COUNTER(Pairs, "refine.pairs");
   Pairs.inc();
   prof::Span ProfSpan("verify_pair", Src.name());
@@ -592,13 +592,16 @@ Verdict refine::detail::checkPair(const Function &Src, const Function &Tgt,
   stats::ScopedTimer Timer(VerifyTime);
   RefinementCheck C(Src, Tgt, M, Opts, QC);
   Verdict V = C.run();
+  V.Rung = Rung;
   if (trace::enabled())
     trace::Event("verdict")
         .str("function", Src.name())
         .str("kind", V.kindName())
         .str("failed_check", V.FailedCheck)
+        .str("reason", toString(V.Why))
         .num("seconds", V.Seconds)
         .num("queries_run", V.QueriesRun)
+        .num("rung", V.Rung)
         .flag("cached", false);
   return V;
 }

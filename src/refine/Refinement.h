@@ -31,6 +31,12 @@ class QueryCache;
 
 namespace alive::refine {
 
+/// Typed early-stop reason (support/Reason.h), carried on Verdict::Why and
+/// smt::SolveOutcome::UnknownReason instead of ad-hoc strings.
+using support::parseReason;
+using support::Reason;
+using support::toString;
+
 /// Result-cache configuration (see support/QueryCache.h and DESIGN.md
 /// "Query cache"). Both in-memory levels default on: within one Validator
 /// they are pure accelerators — a hit returns the same verdict class the
@@ -57,6 +63,21 @@ struct CachePolicy {
   }
 };
 
+/// Budget-escalation retry ladder (resource-governance tentpole). When a
+/// pair's verdict is Timeout/OutOfMemory for a budget-shaped reason and
+/// rungs remain, the Validator re-runs it with every SolverBudget field
+/// scaled by Multiplier^rung. Escalated budgets get their own pair-cache
+/// fingerprints, and Timeout/OOM attempts are never cached, so only the
+/// ladder's final verdict can reach the cache. Default off (MaxRungs = 0):
+/// behavior is exactly the pre-ladder single attempt.
+struct RetryPolicy {
+  /// Number of escalated retries after the base attempt (rung 0). The
+  /// ladder is capped at 8 rungs by Options::validate().
+  unsigned MaxRungs = 0;
+  /// Budget scale factor per rung; must be > 1 when MaxRungs > 0.
+  double Multiplier = 4.0;
+};
+
 struct Options {
   /// Loop unroll bound (Section 7). At least 2 covers back-edge phi entries
   /// for non-loop optimizations; loop optimizations may need much more.
@@ -76,6 +97,23 @@ struct Options {
   /// Result-cache policy. Not part of the pair fingerprint: it controls
   /// whether caching happens, never what a verdict is.
   CachePolicy Cache;
+  /// Budget-escalation ladder. Like the governance knobs below it is
+  /// excluded from the pair fingerprint — it controls how hard we try, not
+  /// what a verdict means.
+  RetryPolicy Retry;
+  /// Total wall-clock deadline in seconds for a Validator's work (0 = none).
+  /// Armed when the Validator is constructed and re-armed at the start of
+  /// each verifyBatch/verifyModules call; once expired, pairs not yet
+  /// dispatched return VerdictKind::DeadlineSkipped and in-flight pairs are
+  /// cancelled. Distinct from Budget.TimeoutSec, which bounds one SMT query.
+  double DeadlineSec = 0;
+  /// Memory-watchdog bound on process RSS in bytes (0 = watchdog off). When
+  /// the sampler sees RSS above the bound it cancels the longest-running
+  /// in-flight pair, which surfaces as OutOfMemory with
+  /// Reason::WatchdogCancelled.
+  size_t MaxRssBytes = 0;
+  /// Sampling interval of the governor thread (deadline + watchdog).
+  double GovernorSampleSec = 0.02;
 
   /// Sanity-checks the configuration: rejects a zero unroll factor and
   /// zero / non-finite solver budget fields. \returns an empty string when
@@ -93,7 +131,19 @@ enum class VerdictKind {
   Unsupported,       ///< over-approximated feature involved (Section 3.8)
   PreconditionFalse, ///< step 1: the preconditions are unsatisfiable
   Failed,            ///< malformed input / signature mismatch
+  // Appended so cached verdict kinds (stored as integers) keep their values.
+  DeadlineSkipped, ///< batch deadline passed before the pair dispatched
 };
+
+/// Raw solver result of one staged query (QueryStats::Result). The former
+/// free-form string; toString() (Outcome.cpp) renders the same spellings.
+enum class QueryResult : uint8_t {
+  Unknown,
+  Unsat,
+  Sat,
+  BudgetExhausted, ///< the per-pair budget ran out before the query started
+};
+const char *toString(QueryResult R);
 
 /// Cost record for one staged refinement query (Section 5.3). One of these
 /// is appended to Verdict::Queries for every query the check runs — the
@@ -103,10 +153,11 @@ struct QueryStats {
   /// Staged check name ("precondition", "target is more undefined than
   /// source", ...).
   std::string Check;
-  /// Raw solver result for this query: "unsat" (the check passed, or for
-  /// the precondition check: vacuously false), "sat", "unknown", or
-  /// "budget-exhausted" when the per-pair budget ran out before solving.
-  std::string Result;
+  /// Raw solver result for this query: Unsat (the check passed, or for the
+  /// precondition check: vacuously false), Sat, Unknown, or BudgetExhausted
+  /// when the per-pair budget ran out before solving. Render with
+  /// toString() — the spellings match the historical strings.
+  QueryResult Result = QueryResult::Unknown;
   /// Wall time of the whole staged query.
   double Seconds = 0;
   /// Wall time inside SatSolver::solve across all checks of the query.
@@ -140,6 +191,16 @@ struct Verdict {
   /// FailedCheck, Detail and QueriesRun replay the original run, Seconds is
   /// the lookup cost and Queries is empty (no queries actually ran).
   bool Cached = false;
+  /// Why the pair stopped early: None for real verdicts, a solver-level
+  /// reason for Timeout/OutOfMemory, Cached for replays, and the
+  /// governance reasons (RetriesExhausted/DeadlineSkipped/
+  /// WatchdogCancelled) from the resource governor.
+  Reason Why = Reason::None;
+  /// Retry-ladder rung that produced this verdict (0 = base attempt).
+  unsigned Rung = 0;
+  /// Wall time across every ladder attempt of this pair, including the
+  /// failed cheaper rungs; equals Seconds when no retry happened.
+  double CumulativeSeconds = 0;
 
   bool isCorrect() const { return Kind == VerdictKind::Correct; }
   bool isIncorrect() const { return Kind == VerdictKind::Incorrect; }
@@ -153,12 +214,14 @@ namespace detail {
 /// does not install a cancellation flag — that is the Validator's job.
 /// \p QC, when non-null, is consulted before and filled after every staged
 /// query (the query level of the result cache); the pair level lives in
-/// the Validator. The free verifyRefinement/verifyModules wrappers that
-/// used to live here are gone — refine::Validator (Validator.h) is the one
-/// entry point.
+/// the Validator. \p Rung labels the retry-ladder attempt for the verdict
+/// and its trace event (0 = base attempt; the Validator passes escalated
+/// rungs). The free verifyRefinement/verifyModules wrappers that used to
+/// live here are gone — refine::Validator (Validator.h) is the one entry
+/// point.
 Verdict checkPair(const ir::Function &Src, const ir::Function &Tgt,
                   const ir::Module *M, const Options &Opts,
-                  support::QueryCache *QC = nullptr);
+                  support::QueryCache *QC = nullptr, unsigned Rung = 0);
 } // namespace detail
 
 } // namespace alive::refine

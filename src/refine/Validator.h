@@ -13,12 +13,24 @@
 /// thousands of pairs (the paper's Sections 7-8 evaluations) reports
 /// progress long before the slowest pair finishes.
 ///
+/// Resource governance (see DESIGN.md "Resource governance"): when
+/// Options::Retry enables the budget-escalation ladder, Timeout/OutOfMemory
+/// verdicts with a budget-shaped Reason are retried with the SolverBudget
+/// scaled by Multiplier^rung; the final Verdict records the rung and the
+/// cumulative wall cost across attempts. A batch deadline (Options or the
+/// per-call override) makes undispatched pairs return DeadlineSkipped —
+/// never Timeout — and cancels in-flight pairs; the memory watchdog cancels
+/// the longest-running pair when process RSS exceeds Options::MaxRssBytes,
+/// surfacing as OutOfMemory with Reason::WatchdogCancelled. Both are driven
+/// by a support::ResourceGovernor sampler thread owned by the Validator.
+///
 /// Threading model: every pair is verified entirely on one thread — the
 /// expression context is thread-local (see smt/Expr.h), so workers never
 /// contend on the interning hot path, and a Verdict carries only plain data
-/// and may cross threads freely. The token's flag is installed into each
-/// pair's SolverBudget; requestCancel() therefore interrupts even a SAT
-/// search already in flight (verdict: Timeout with detail "cancelled").
+/// and may cross threads freely. The token's flag (or the pair's governor
+/// job flag, which the token fans out to) is installed into each pair's
+/// SolverBudget; requestCancel() therefore interrupts even a SAT search
+/// already in flight (verdict: Timeout, Reason::Cancelled).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +43,10 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+
+namespace alive::support {
+class ResourceGovernor;
+}
 
 namespace alive::refine {
 
@@ -55,12 +71,22 @@ struct BatchSummary {
   unsigned OutOfMemory = 0;
   unsigned Unsupported = 0;
   unsigned Other = 0; ///< precondition-false / failed
+  /// Pairs whose verdict was skipped by the batch deadline (disjoint from
+  /// Timeout: these never dispatched).
+  unsigned DeadlineSkipped = 0;
+  /// Pairs whose final verdict came from an escalated retry rung (> 0).
+  unsigned Retried = 0;
   /// Pairs answered wholesale by the pair-level cache (Verdict::Cached).
   unsigned CacheHits = 0;
   unsigned QueriesRun = 0;
-  /// Sum of per-pair wall times (CPU-ish cost; wall clock of a parallel
-  /// batch is smaller).
+  /// Sum of per-pair wall times across every retry rung (CPU-ish cost;
+  /// wall clock of a parallel batch is smaller).
   double Seconds = 0;
+
+  /// Folds one verdict into the tallies (including Pairs). The one place
+  /// verdict kinds are mapped to summary buckets — tools and benches call
+  /// this instead of hand-rolling the switch.
+  void countVerdict(const Verdict &V);
 };
 
 BatchSummary summarize(const std::vector<PairResult> &Results);
@@ -87,14 +113,16 @@ public:
   const Options &options() const { return Opts; }
 
   /// Streaming callback, invoked once per pair as verdicts complete — in
-  /// completion order, possibly from worker threads. Invocations are
+  /// completion order, possibly from worker threads. Only final verdicts
+  /// are emitted: a rung that triggers a retry is not. Invocations are
   /// serialized; the callback must not call back into this Validator.
   using VerdictCallback = std::function<void(const PairResult &)>;
   void onVerdict(VerdictCallback CB);
 
   /// Verifies that \p Tgt refines \p Src; \p M provides globals (may be
-  /// null). Runs on the calling thread and leaves its expression context
-  /// alone. Invalid options yield a Failed verdict ("options").
+  /// null). Runs on the calling thread — the retry ladder included — and
+  /// leaves its expression context alone. Invalid options yield a Failed
+  /// verdict ("options").
   Verdict verifyPair(const ir::Function &Src, const ir::Function &Tgt,
                      const ir::Module *M = nullptr);
 
@@ -104,20 +132,28 @@ public:
   /// worker's expression context first, so with Jobs <= 1 the CALLING
   /// thread's context is reset: do not hold live smt::Expr handles across
   /// this call.
+  ///
+  /// \p DeadlineSec bounds the batch's wall clock: negative (default) uses
+  /// Options::DeadlineSec, 0 disables, positive overrides. The clock is
+  /// re-armed when the call starts; once it expires, pairs not yet
+  /// dispatched return VerdictKind::DeadlineSkipped and in-flight pairs
+  /// are cancelled.
   std::vector<PairResult> verifyBatch(const std::vector<PairTask> &Tasks,
-                                      unsigned Jobs = 1);
+                                      unsigned Jobs = 1,
+                                      double DeadlineSec = -1);
 
   /// Convenience over verifyBatch: every function pair with matching names
   /// across two modules, in source-module definition order (the alive-tv
   /// behavior).
   std::vector<PairResult> verifyModules(const ir::Module &Src,
                                         const ir::Module &Tgt,
-                                        unsigned Jobs = 1);
+                                        unsigned Jobs = 1,
+                                        double DeadlineSec = -1);
 
   /// Requests cooperative cancellation: pairs not yet started return
-  /// Timeout("cancelled") immediately, and in-flight solver searches abort
-  /// at their next poll. Sticky until resetCancel().
-  void requestCancel() { Cancel.requestCancel(); }
+  /// Timeout (Reason::Cancelled) immediately, and in-flight solver searches
+  /// abort at their next poll. Sticky until resetCancel().
+  void requestCancel();
   bool cancelRequested() const { return Cancel.isCancelled(); }
   void resetCancel() { Cancel.reset(); }
 
@@ -133,8 +169,25 @@ public:
 
 private:
   void emit(const PairResult &R);
-  /// Runs one task on the current thread (context reset + verifyPair).
-  void runTask(const PairTask &T, unsigned Index, PairResult &Out);
+  /// One ladder attempt on the current thread: deadline/cancel gates, the
+  /// rung-scaled budget, governor job registration, pair cache, checkPair,
+  /// and the governor-trip verdict rewrite.
+  Verdict attemptPair(const ir::Function &Src, const ir::Function &Tgt,
+                      const ir::Module *M, unsigned Rung);
+  /// Whether \p V at \p Rung warrants an escalated retry.
+  bool shouldRetry(const Verdict &V, unsigned Rung) const;
+  /// Stamps ladder-exit bookkeeping (RetriesExhausted, retry counters) on a
+  /// verdict that will not be retried.
+  void finalizeVerdict(Verdict &V, unsigned Rung) const;
+  /// Runs one batch task attempt at \p Rung (context reset + attemptPair),
+  /// accumulating wall cost into \p Cum. \returns true when the pair must
+  /// be re-enqueued at the next rung; otherwise the final verdict has been
+  /// stored in \p Out and emitted.
+  bool attemptTask(const PairTask &T, unsigned Index, unsigned Rung,
+                   double &Cum, PairResult &Out);
+  /// Ensures the governor exists (creating it lazily for per-call
+  /// deadlines) and arms \p DeadlineSec on it.
+  void armGovernor(double DeadlineSec);
 
   Options Opts;
   support::CancellationToken Cancel;
@@ -142,6 +195,7 @@ private:
   VerdictCallback Callback;
   std::unique_ptr<support::ThreadPool> Pool; ///< lazily sized to Jobs
   std::unique_ptr<support::QueryCache> Cache;
+  std::unique_ptr<support::ResourceGovernor> Gov;
 };
 
 } // namespace alive::refine

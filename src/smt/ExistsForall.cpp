@@ -471,13 +471,13 @@ EFOutcome smt::solveExistsForall(const EFQuery &Query,
       // same flag inside a check.
       if (Budget.Cancel && Budget.Cancel->load(std::memory_order_relaxed)) {
         Out.Res = SatResult::Unknown;
-        Out.UnknownReason = "cancelled";
+        Out.UnknownReason = Reason::Cancelled;
         return Phase::Unknown;
       }
       double Remaining = Budget.TimeoutSec - Timer.seconds();
       if (Remaining <= 0) {
         Out.Res = SatResult::Unknown;
-        Out.UnknownReason = "timeout";
+        Out.UnknownReason = Reason::Timeout;
         return Phase::Unknown;
       }
       SolverBudget SubBudget = Budget;
@@ -518,7 +518,7 @@ EFOutcome smt::solveExistsForall(const EFQuery &Query,
         Remaining = Budget.TimeoutSec - Timer.seconds();
         if (Remaining <= 0) {
           Out.Res = SatResult::Unknown;
-          Out.UnknownReason = "timeout";
+          Out.UnknownReason = Reason::Timeout;
           return Phase::Unknown;
         }
         SubBudget.TimeoutSec = Remaining;
@@ -639,7 +639,7 @@ EFOutcome smt::solveExistsForall(const EFQuery &Query,
       return Out;
     }
     Out.Res = SatResult::Unknown;
-    Out.UnknownReason = "quantifier limit";
+    Out.UnknownReason = Reason::QuantifierLimit;
     return Out;
   }
   return Out;

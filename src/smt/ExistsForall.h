@@ -70,7 +70,7 @@ struct EFOutcome {
   Model M;
   /// Inner model paired with the final outer model (diagnostics).
   Model InnerM;
-  std::string UnknownReason;
+  Reason UnknownReason = Reason::None;
   unsigned Iterations = 0;
   /// Aggregate SAT effort over every outer and inner check of the search
   /// (tentpole observability layer): the refinement layer attaches this to

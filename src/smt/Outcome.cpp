@@ -1,0 +1,26 @@
+//===- smt/Outcome.cpp - Solver outcome spellings -----------------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+// The only place the sat/unsat/unknown spellings exist as literals (the
+// ReasonTest grep allowlists this file); everything else renders a SatResult
+// through toString().
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+
+using namespace alive;
+using namespace alive::smt;
+
+const char *smt::toString(SatResult R) {
+  switch (R) {
+  case SatResult::Sat:
+    return "sat";
+  case SatResult::Unsat:
+    return "unsat";
+  case SatResult::Unknown:
+    return "unknown";
+  }
+  return "?";
+}

@@ -23,7 +23,7 @@ int SatSolver::newVar() {
   int V = (int)Assign.size();
   Assign.push_back(0);
   Level.push_back(0);
-  Reason.push_back(NoReason);
+  Reasons.push_back(NoReason);
   Phase.push_back(false);
   Activity.push_back(0.0);
   SeenBuf.push_back(0);
@@ -106,7 +106,7 @@ void SatSolver::enqueue(Lit L, CRef From) {
   int V = litVar(L);
   Assign[V] = litSign(L) ? -1 : 1;
   Level[V] = decisionLevel();
-  Reason[V] = From;
+  Reasons[V] = From;
   Phase[V] = !litSign(L);
   Trail.push_back(L);
 }
@@ -222,7 +222,7 @@ void SatSolver::analyze(CRef Confl, std::vector<Lit> &OutLearnt,
     while (!SeenBuf[litVar(Trail[Index - 1])])
       --Index;
     P = Trail[--Index];
-    Confl = Reason[litVar(P)];
+    Confl = Reasons[litVar(P)];
     SeenBuf[litVar(P)] = 0;
     --PathCount;
   } while (PathCount > 0);
@@ -234,7 +234,7 @@ void SatSolver::analyze(CRef Confl, std::vector<Lit> &OutLearnt,
     AbstractLevels |= 1u << (Level[litVar(OutLearnt[K])] & 31);
   size_t NewSize = 1;
   for (size_t K = 1; K < OutLearnt.size(); ++K) {
-    if (Reason[litVar(OutLearnt[K])] == NoReason ||
+    if (Reasons[litVar(OutLearnt[K])] == NoReason ||
         !litRedundant(OutLearnt[K], AbstractLevels))
       OutLearnt[NewSize++] = OutLearnt[K];
   }
@@ -275,7 +275,7 @@ bool SatSolver::litRedundant(Lit L, uint32_t AbstractLevels) {
   while (!Stack.empty() && Redundant) {
     Lit Cur = Stack.back();
     Stack.pop_back();
-    CRef R = Reason[litVar(Cur)];
+    CRef R = Reasons[litVar(Cur)];
     if (R == NoReason) {
       Redundant = false;
       break;
@@ -286,7 +286,7 @@ bool SatSolver::litRedundant(Lit L, uint32_t AbstractLevels) {
       int V = litVar(Q);
       if (SeenBuf[V] || Level[V] == 0)
         continue;
-      if (Reason[V] == NoReason || !((1u << (Level[V] & 31)) & AbstractLevels)) {
+      if (Reasons[V] == NoReason || !((1u << (Level[V] & 31)) & AbstractLevels)) {
         Redundant = false;
         break;
       }
@@ -310,7 +310,7 @@ void SatSolver::backtrack(int ToLevel) {
   for (size_t I = Trail.size(); I > (size_t)TrailLim[ToLevel]; --I) {
     int V = litVar(Trail[I - 1]);
     Assign[V] = 0;
-    Reason[V] = NoReason;
+    Reasons[V] = NoReason;
     if (HeapPos[V] < 0)
       heapInsert(V);
   }
@@ -330,7 +330,7 @@ void SatSolver::reduceDB() {
     bool IsReason = false;
     // A clause is locked if it is the reason of its first literal.
     int V0 = litVar(C.Lits[0]);
-    if (Assign[V0] != 0 && Reason[V0] == I)
+    if (Assign[V0] != 0 && Reasons[V0] == I)
       IsReason = true;
     if (!IsReason)
       Learned.push_back(I);
@@ -413,11 +413,11 @@ SatStatus SatSolver::solve(const SatLimits &Limits) {
            Limits.Cancel->load(std::memory_order_relaxed);
   };
   if (cancelled()) {
-    UnknownReason = "cancelled";
+    UnknownReason = Reason::Cancelled;
     return SatStatus::Unknown;
   }
   if (TotalLiterals > Limits.MaxLiterals) {
-    UnknownReason = "memory";
+    UnknownReason = Reason::Memory;
     return SatStatus::Unknown;
   }
   Stopwatch Timer;
@@ -459,20 +459,20 @@ SatStatus SatSolver::solve(const SatLimits &Limits) {
 
       if ((Conflicts & 255) == 0) {
         if (cancelled()) {
-          UnknownReason = "cancelled";
+          UnknownReason = Reason::Cancelled;
           return SatStatus::Unknown;
         }
         if (Timer.seconds() > Limits.TimeoutSec) {
-          UnknownReason = "timeout";
+          UnknownReason = Reason::Timeout;
           return SatStatus::Unknown;
         }
         if (TotalLiterals > Limits.MaxLiterals) {
-          UnknownReason = "memory";
+          UnknownReason = Reason::Memory;
           return SatStatus::Unknown;
         }
       }
       if (Conflicts - ConflictsAtStart > Limits.MaxConflicts) {
-        UnknownReason = "conflict budget";
+        UnknownReason = Reason::ConflictBudget;
         return SatStatus::Unknown;
       }
       if (Conflicts > NextReduce) {
@@ -515,11 +515,11 @@ SatStatus SatSolver::solve(const SatLimits &Limits) {
     // also poll the cancel flag and timeout on the decision path.
     if ((Decisions & 4095) == 0) {
       if (cancelled()) {
-        UnknownReason = "cancelled";
+        UnknownReason = Reason::Cancelled;
         return SatStatus::Unknown;
       }
       if (Timer.seconds() > Limits.TimeoutSec) {
-        UnknownReason = "timeout";
+        UnknownReason = Reason::Timeout;
         return SatStatus::Unknown;
       }
     }

@@ -19,12 +19,16 @@
 #define ALIVE2RE_SMT_SAT_H
 
 #include "support/Diag.h"
+#include "support/Reason.h"
 
 #include <atomic>
 #include <cstdint>
 #include <vector>
 
 namespace alive::smt {
+
+/// Typed early-stop reason shared with the upper layers (support/Reason.h).
+using support::Reason;
 
 /// Literal: variable index v with sign. Encoded as 2*v (positive) or
 /// 2*v+1 (negated), the usual MiniSat encoding.
@@ -44,9 +48,9 @@ struct SatLimits {
   /// Approximate memory cap over clause-database literals.
   size_t MaxLiterals = 1u << 27;
   /// Optional cooperative cancellation flag, polled alongside the timeout
-  /// check. When it becomes true, solve() returns Unknown("cancelled") at
-  /// the next poll — this is how the batch engine keeps one stuck pair
-  /// from wedging a worker past its budget.
+  /// check. When it becomes true, solve() returns Unknown with
+  /// Reason::Cancelled at the next poll — this is how the batch engine
+  /// keeps one stuck pair from wedging a worker past its budget.
   const std::atomic<bool> *Cancel = nullptr;
 };
 
@@ -79,8 +83,9 @@ public:
   /// Value of a variable in the satisfying assignment (only after Sat).
   bool modelValue(int Var) const;
 
-  /// Reason for the last Unknown result ("timeout" or "memory").
-  const char *unknownReason() const { return UnknownReason; }
+  /// Reason for the last Unknown result (Timeout, Memory, Cancelled or
+  /// ConflictBudget).
+  Reason unknownReason() const { return UnknownReason; }
 
   uint64_t numConflicts() const { return Conflicts; }
   uint64_t numDecisions() const { return Decisions; }
@@ -112,7 +117,7 @@ private:
   std::vector<std::vector<Watcher>> Watches; // indexed by Lit
   std::vector<int8_t> Assign;                // per var: 0 unset, 1 true, -1 false
   std::vector<int> Level;                    // per var
-  std::vector<CRef> Reason;                  // per var
+  std::vector<CRef> Reasons;                 // per var
   std::vector<bool> Phase;                   // saved phases
   std::vector<double> Activity;              // VSIDS
   std::vector<Lit> Trail;
@@ -121,7 +126,7 @@ private:
   double VarInc = 1.0;
   double ClaInc = 1.0;
   bool Unsat = false;
-  const char *UnknownReason = "";
+  Reason UnknownReason = Reason::None;
   size_t TotalLiterals = 0;
 
   // Heap-free branching: we keep a simple order heap.

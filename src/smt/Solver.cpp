@@ -119,14 +119,14 @@ SolveOutcome Solver::check(const SolverBudget &Budget) {
   flushBlastStats();
 
   SolveOutcome Out;
-  auto finish = [&](const char *Result) {
+  auto finish = [&]() {
     if (Out.Stats.Checks) {
       ALIVE_STAT_SAMPLER(CheckTime, "time.sat_check");
       CheckTime.record(Out.Stats.Seconds);
     }
     if (trace::enabled())
       trace::Event("sat_check")
-          .str("result", Result)
+          .str("result", toString(Out.Res))
           .num("seconds", Out.Stats.Seconds)
           .num("conflicts", Out.Stats.Conflicts)
           .num("decisions", Out.Stats.Decisions)
@@ -138,13 +138,13 @@ SolveOutcome Solver::check(const SolverBudget &Budget) {
 
   if (TriviallyUnsat) {
     Out.Res = SatResult::Unsat;
-    finish("unsat");
+    finish();
     return Out;
   }
   if (Blaster->overBudget()) {
     Out.Res = SatResult::Unknown;
-    Out.UnknownReason = "memory";
-    finish("unknown");
+    Out.UnknownReason = Reason::Memory;
+    finish();
     return Out;
   }
   SatLimits Limits;
@@ -169,12 +169,12 @@ SolveOutcome Solver::check(const SolverBudget &Budget) {
   switch (St) {
   case SatStatus::Unsat:
     Out.Res = SatResult::Unsat;
-    finish("unsat");
+    finish();
     return Out;
   case SatStatus::Unknown:
     Out.Res = SatResult::Unknown;
     Out.UnknownReason = Sat->unknownReason();
-    finish("unknown");
+    finish();
     return Out;
   case SatStatus::Sat:
     break;
@@ -182,7 +182,7 @@ SolveOutcome Solver::check(const SolverBudget &Budget) {
   Out.Res = SatResult::Sat;
   for (ExprId VarId : SeenVars)
     Out.M.set(VarId, Blaster->readVar(Expr(VarId)));
-  finish("sat");
+  finish();
   return Out;
 }
 

@@ -28,6 +28,10 @@ namespace alive::smt {
 
 enum class SatResult { Sat, Unsat, Unknown };
 
+/// The trace/JSON spelling of \p R (lower-case; defined in Outcome.cpp so
+/// the literals live in exactly one place).
+const char *toString(SatResult R);
+
 /// Resource budget for one satisfiability check.
 struct SolverBudget {
   double TimeoutSec = 60.0;
@@ -36,9 +40,10 @@ struct SolverBudget {
   uint64_t MaxConflicts = ~uint64_t(0);
   /// Optional cooperative cancellation flag, forwarded to SatLimits::Cancel
   /// and polled between exists-forall iterations. The refinement layer maps
-  /// Unknown("cancelled") onto a Timeout verdict. Not owned; must outlive
-  /// every check using this budget. Typically points into a
-  /// support::CancellationToken held by a refine::Validator.
+  /// an Unknown with Reason::Cancelled onto a Timeout verdict. Not owned;
+  /// must outlive every check using this budget. Typically points into a
+  /// support::CancellationToken (or a ResourceGovernor job slot) held by a
+  /// refine::Validator.
   const std::atomic<bool> *Cancel = nullptr;
 };
 
@@ -72,12 +77,12 @@ struct SolveStats {
   }
 };
 
-/// Outcome of a check: a verdict, a model when Sat, and a reason when
-/// Unknown ("timeout", "memory", or "quantifier limit").
+/// Outcome of a check: a verdict, a model when Sat, and a typed reason when
+/// Unknown (Timeout, Memory, Cancelled, ConflictBudget, QuantifierLimit).
 struct SolveOutcome {
   SatResult Res = SatResult::Unknown;
   Model M;
-  std::string UnknownReason;
+  Reason UnknownReason = Reason::None;
   /// Effort spent by this check (tentpole observability layer).
   SolveStats Stats;
 

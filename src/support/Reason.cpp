@@ -1,0 +1,47 @@
+//===- support/Reason.cpp - Typed outcome reasons -----------------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+// The single home of the reason spellings. ReasonTest greps the source tree
+// to ensure no other file under src/ or tools/ re-introduces them as string
+// literals; extend the table here (and only here) when adding a Reason.
+//===----------------------------------------------------------------------===//
+
+#include "support/Reason.h"
+
+using namespace alive;
+using namespace alive::support;
+
+namespace {
+struct ReasonName {
+  Reason R;
+  const char *Name;
+};
+constexpr ReasonName Names[] = {
+    {Reason::Cancelled, "cancelled"},
+    {Reason::Timeout, "timeout"},
+    {Reason::Memory, "memory"},
+    {Reason::QuantifierLimit, "quantifier limit"},
+    {Reason::ConflictBudget, "conflict budget"},
+    {Reason::BudgetExhausted, "budget-exhausted"},
+    {Reason::Cached, "cached"},
+    {Reason::RetriesExhausted, "retries-exhausted"},
+    {Reason::DeadlineSkipped, "deadline-skipped"},
+    {Reason::WatchdogCancelled, "watchdog-cancelled"},
+};
+} // namespace
+
+const char *support::toString(Reason R) {
+  for (const ReasonName &E : Names)
+    if (E.R == R)
+      return E.Name;
+  return "";
+}
+
+Reason support::parseReason(std::string_view S) {
+  for (const ReasonName &E : Names)
+    if (S == E.Name)
+      return E.R;
+  return Reason::None;
+}

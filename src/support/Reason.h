@@ -1,0 +1,59 @@
+//===- support/Reason.h - Typed outcome reasons -----------------*- C++ -*-==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one enum behind every "why did this query/verdict stop early" string
+/// in the system. The solver layers used to pass ad-hoc string literals up
+/// the stack (SatSolver::unknownReason, SolveOutcome/EFOutcome, Verdict
+/// details) and every consumer compared against its own copy of the
+/// spelling; now the typed Reason travels instead and toString() renders the
+/// historical spellings exactly once, so the --json / trace text contracts
+/// are unchanged while the literals themselves are confined to Reason.cpp
+/// (a test greps the tree to keep it that way).
+///
+/// Reasons fall into three groups:
+///  * solver-level: why a SAT / exists-forall search returned Unknown
+///    (cancellation, wall-clock, memory, conflict budget, CEGIS iteration
+///    cap, per-pair budget exhausted before the query started);
+///  * cache-level: the verdict was replayed, nothing ran;
+///  * governance-level (resource-governance tentpole): the retry ladder ran
+///    dry, the batch deadline passed before dispatch, or the memory
+///    watchdog cancelled the pair.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE2RE_SUPPORT_REASON_H
+#define ALIVE2RE_SUPPORT_REASON_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace alive::support {
+
+enum class Reason : uint8_t {
+  None,              ///< no early stop: the result is a real verdict
+  Cancelled,         ///< cooperative cancellation flag tripped mid-search
+  Timeout,           ///< per-query wall-clock budget exceeded
+  Memory,            ///< clause-database literal budget exceeded
+  QuantifierLimit,   ///< CEGIS iteration cap (Z3's "quantifiers gave up")
+  ConflictBudget,    ///< SAT conflict budget exceeded
+  BudgetExhausted,   ///< per-pair budget spent before this query started
+  Cached,            ///< verdict replayed from the result cache
+  RetriesExhausted,  ///< still Timeout/OOM after the last retry rung
+  DeadlineSkipped,   ///< batch deadline passed before the pair dispatched
+  WatchdogCancelled, ///< memory watchdog cancelled the in-flight pair
+};
+
+/// The historical spelling of \p R ("timeout", "budget-exhausted", ...);
+/// empty string for None. Stable: trace/--json consumers parse these.
+const char *toString(Reason R);
+
+/// Inverse of toString(); unrecognized (or empty) input maps to None.
+Reason parseReason(std::string_view S);
+
+} // namespace alive::support
+
+#endif // ALIVE2RE_SUPPORT_REASON_H

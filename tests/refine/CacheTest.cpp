@@ -125,6 +125,20 @@ TEST(Cache, OptionChangesInvalidate) {
   O = Base;
   O.Cache.Dir = "/somewhere/else";
   EXPECT_EQ(fingerprintPair(*SF, *TF, SrcM.get(), O), Fp);
+  // The resource-governance knobs control how hard we try, not what a
+  // verdict means: none of them may move the key. (The escalated budget a
+  // retry rung actually runs with enters via Budget, covered above.)
+  O = Base;
+  O.Retry.MaxRungs = 3;
+  O.Retry.Multiplier = 16;
+  EXPECT_EQ(fingerprintPair(*SF, *TF, SrcM.get(), O), Fp);
+  O = Base;
+  O.DeadlineSec = 123;
+  EXPECT_EQ(fingerprintPair(*SF, *TF, SrcM.get(), O), Fp);
+  O = Base;
+  O.MaxRssBytes = size_t(1) << 30;
+  O.GovernorSampleSec = 0.5;
+  EXPECT_EQ(fingerprintPair(*SF, *TF, SrcM.get(), O), Fp);
 
   // Different functions, different keys.
   EXPECT_NE(fingerprintPair(*SF, *SF, SrcM.get(), Base), Fp);

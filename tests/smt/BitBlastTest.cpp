@@ -294,7 +294,7 @@ TEST(BitBlast, MemoryBudgetReported) {
   B.MaxLiterals = 100;
   SolveOutcome R = checkSat(Q, B);
   ASSERT_TRUE(R.isUnknown());
-  EXPECT_EQ(R.UnknownReason, "memory");
+  EXPECT_EQ(R.UnknownReason, support::Reason::Memory);
 }
 
 } // namespace

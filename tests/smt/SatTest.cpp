@@ -104,7 +104,7 @@ TEST(Sat, ConflictBudgetReturnsUnknown) {
   L.MaxConflicts = 5;
   SatStatus R = S.solve(L);
   EXPECT_EQ(R, SatStatus::Unknown);
-  EXPECT_STREQ(S.unknownReason(), "conflict budget");
+  EXPECT_EQ(S.unknownReason(), support::Reason::ConflictBudget);
 }
 
 TEST(Sat, CancellationReturnsUnknown) {
@@ -115,7 +115,7 @@ TEST(Sat, CancellationReturnsUnknown) {
   L.Cancel = &Cancel;
   SatStatus R = S.solve(L);
   EXPECT_EQ(R, SatStatus::Unknown);
-  EXPECT_STREQ(S.unknownReason(), "cancelled");
+  EXPECT_EQ(S.unknownReason(), support::Reason::Cancelled);
 }
 
 TEST(Sat, CancelFlagClearDoesNotDisturbSolve) {

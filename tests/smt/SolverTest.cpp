@@ -123,7 +123,7 @@ TEST(Solver, TimeoutVerdict) {
   // it must never claim UNSAT.
   EXPECT_FALSE(R.isUnsat());
   if (R.isUnknown())
-    EXPECT_EQ(R.UnknownReason, "timeout");
+    EXPECT_EQ(R.UnknownReason, support::Reason::Timeout);
 }
 
 TEST(Solver, CheckIsRepeatable) {

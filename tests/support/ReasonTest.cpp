@@ -1,0 +1,123 @@
+//===- tests/support/ReasonTest.cpp - Typed reason API -----------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+// The typed Reason enum and its one string table: round-trips, plus the
+// grep-enforcement test that keeps reason spellings out of the rest of the
+// source tree (the api_redesign contract: no code compares outcome strings;
+// the literals live only in the dedicated Outcome/Reason translation units).
+//===----------------------------------------------------------------------===//
+
+#include "support/Reason.h"
+
+#include "gtest/gtest.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+using namespace alive;
+using namespace alive::support;
+
+namespace {
+
+const Reason AllReasons[] = {
+    Reason::Cancelled,        Reason::Timeout,
+    Reason::Memory,           Reason::QuantifierLimit,
+    Reason::ConflictBudget,   Reason::BudgetExhausted,
+    Reason::Cached,           Reason::RetriesExhausted,
+    Reason::DeadlineSkipped,  Reason::WatchdogCancelled,
+};
+
+TEST(ReasonTest, RoundTripsEveryReason) {
+  for (Reason R : AllReasons) {
+    const char *S = toString(R);
+    ASSERT_NE(S, nullptr);
+    EXPECT_GT(std::strlen(S), 0u) << "unnamed reason " << (int)R;
+    EXPECT_EQ(parseReason(S), R) << S;
+  }
+}
+
+TEST(ReasonTest, NoneHasEmptySpelling) {
+  EXPECT_STREQ(toString(Reason::None), "");
+  EXPECT_EQ(parseReason(""), Reason::None);
+}
+
+TEST(ReasonTest, UnknownSpellingParsesToNone) {
+  EXPECT_EQ(parseReason("no-such-reason"), Reason::None);
+  EXPECT_EQ(parseReason("Timeout"), Reason::None); // spellings are exact
+}
+
+TEST(ReasonTest, SpellingsAreDistinct) {
+  for (Reason A : AllReasons)
+    for (Reason B : AllReasons)
+      if (A != B)
+        EXPECT_STRNE(toString(A), toString(B));
+}
+
+#ifdef ALIVE2RE_SOURCE_DIR
+
+// Strips // line comments (incl. /// doc comments). Good enough for this
+// codebase: no reason literal hides inside a /* */ block or a line with a
+// quoted "//".
+std::string stripLineComments(const std::string &Line) {
+  size_t Pos = Line.find("//");
+  return Pos == std::string::npos ? Line : Line.substr(0, Pos);
+}
+
+// Every quoted reason spelling must live in exactly three translation
+// units: support/Reason.cpp (Reason), smt/Outcome.cpp (SatResult) and
+// refine/Outcome.cpp (VerdictKind/QueryResult). Everything else goes
+// through toString()/parseReason(), so outcome handling can never drift
+// from the enum. Trace-event *keys* named like a reason (the "cached" flag)
+// are excised before scanning — they are field names, not compared values.
+TEST(ReasonTest, NoStringlyTypedReasonsOutsideToString) {
+  namespace fs = std::filesystem;
+  const fs::path Root = ALIVE2RE_SOURCE_DIR;
+  const char *Dirs[] = {"src/smt", "src/refine", "src/support", "tools"};
+  const char *Allowlist[] = {"Reason.cpp", "Outcome.cpp"};
+  std::vector<std::string> Forbidden;
+  for (Reason R : AllReasons)
+    Forbidden.push_back(std::string("\"") + toString(R) + "\"");
+
+  unsigned Scanned = 0;
+  for (const char *Dir : Dirs) {
+    for (const auto &Entry : fs::recursive_directory_iterator(Root / Dir)) {
+      if (!Entry.is_regular_file())
+        continue;
+      fs::path P = Entry.path();
+      if (P.extension() != ".cpp" && P.extension() != ".h")
+        continue;
+      bool Allowed = false;
+      for (const char *A : Allowlist)
+        Allowed |= P.filename() == A;
+      if (Allowed)
+        continue;
+      ++Scanned;
+      std::ifstream In(P);
+      ASSERT_TRUE(In.good()) << P;
+      std::string Line;
+      for (unsigned LineNo = 1; std::getline(In, Line); ++LineNo) {
+        std::string Code = stripLineComments(Line);
+        // Trace field keys, not reason values.
+        for (size_t Pos;
+             (Pos = Code.find("flag(\"cached\"")) != std::string::npos;)
+          Code.erase(Pos, std::strlen("flag(\"cached\""));
+        for (const std::string &F : Forbidden)
+          EXPECT_EQ(Code.find(F), std::string::npos)
+              << P.string() << ":" << LineNo << ": stringly-typed reason "
+              << F << " — use the Reason enum / toString() instead";
+      }
+    }
+  }
+  // The scan must actually have covered the tree (guards against a stale
+  // ALIVE2RE_SOURCE_DIR making the test vacuous).
+  EXPECT_GT(Scanned, 20u);
+}
+
+#endif // ALIVE2RE_SOURCE_DIR
+
+} // namespace

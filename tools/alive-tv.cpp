@@ -9,6 +9,7 @@
 ///
 ///   alive-tv src.ll tgt.ll [-j N] [--unroll N] [--timeout SEC]
 ///            [--equivalence] [--cache-dir DIR] [--no-query-cache]
+///            [--retry N] [--deadline DUR] [--mem-limit MB]
 ///            [--stats] [--json] [--trace-out FILE]
 ///            [--profile] [--profile-out FILE] [--slow-query-ms N]
 ///
@@ -80,7 +81,8 @@ static void printPairJson(const std::string &Name, const refine::Verdict &V) {
                 "\"propagations\": %llu, \"clauses\": %zu, "
                 "\"cache_hit\": %s}",
                 FirstQ ? "" : ",", trace::jsonEscape(Q.Check).c_str(),
-                trace::jsonEscape(Q.Result).c_str(), Q.Seconds,
+                trace::jsonEscape(refine::toString(Q.Result)).c_str(),
+                Q.Seconds,
                 Q.SolverSeconds, Q.SatChecks, Q.EFIterations,
                 (unsigned long long)Q.Conflicts,
                 (unsigned long long)Q.Decisions,
@@ -264,6 +266,17 @@ int main(int argc, char **argv) {
     }
     if (Results.empty())
       std::printf("no function pairs to verify\n");
+    // Honest degradation summary whenever a resource-governance knob is
+    // active: what got retried, skipped, or shed — deadline skips are not
+    // timeouts and do not affect the exit code.
+    if (Opts.Retry.MaxRungs > 0 || Opts.DeadlineSec > 0 ||
+        Opts.MaxRssBytes > 0) {
+      refine::BatchSummary S = refine::summarize(Results);
+      std::printf("summary: %u pairs, %u correct, %u incorrect, %u timeout, "
+                  "%u oom, %u deadline-skipped, %u retried (%.2fs total)\n",
+                  S.Pairs, S.Correct, S.Incorrect, S.Timeout, S.OutOfMemory,
+                  S.DeadlineSkipped, S.Retried, S.Seconds);
+    }
   }
 
   if (ShowStats) {

@@ -26,10 +26,46 @@ import argparse
 import json
 import sys
 
+# Reason spellings of support/Reason.cpp ("" = Reason::None); every
+# "verdict" event must carry one of these in its "reason" field, plus an
+# integer retry-ladder "rung". Governor events have their own schema.
+KNOWN_REASONS = {
+    "", "cancelled", "timeout", "memory", "quantifier limit",
+    "conflict budget", "budget-exhausted", "cached", "retries-exhausted",
+    "deadline-skipped", "watchdog-cancelled",
+}
+
 
 def fail(errors, msg):
     errors.append(msg)
     print(f"check_trace: {msg}", file=sys.stderr)
+
+
+def check_event_fields(path, lineno, obj, errors):
+    """Schema checks for event kinds with governance fields."""
+    kind = obj.get("event")
+    where = f"{path}:{lineno}"
+    if kind == "verdict":
+        if "reason" not in obj or "rung" not in obj:
+            fail(errors, f"{where}: verdict event missing 'reason'/'rung'")
+            return
+        if obj["reason"] not in KNOWN_REASONS:
+            fail(errors, f"{where}: unknown verdict reason "
+                 f"'{obj['reason']}'")
+        if not isinstance(obj["rung"], int) or obj["rung"] < 0:
+            fail(errors, f"{where}: 'rung' must be a non-negative integer")
+    elif kind == "deadline":
+        for key in ("deadline_sec", "cancelled_inflight"):
+            if not isinstance(obj.get(key), (int, float)):
+                fail(errors, f"{where}: deadline event needs numeric "
+                     f"'{key}'")
+    elif kind == "watchdog":
+        if not isinstance(obj.get("victim"), str):
+            fail(errors, f"{where}: watchdog event needs string 'victim'")
+        for key in ("rss_bytes", "limit_bytes", "elapsed_sec"):
+            if not isinstance(obj.get(key), (int, float)):
+                fail(errors, f"{where}: watchdog event needs numeric "
+                     f"'{key}'")
 
 
 def check_jsonl(path, errors):
@@ -65,6 +101,7 @@ def check_jsonl(path, errors):
                     fail(errors,
                          f"{path}:{lineno}: nested value under '{key}' "
                          "(trace values must be flat scalars)")
+            check_event_fields(path, lineno, obj, errors)
     if events == 0:
         fail(errors, f"{path}: no events")
     return events
