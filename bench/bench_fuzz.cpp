@@ -1,0 +1,107 @@
+//===- bench/bench_fuzz.cpp - Fuzzing-engine throughput sweep ----------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Throughput of the differential-fuzzing loop: how many mutate -> derive
+/// -> oracle cycles per second the stack sustains on generated seeds, how
+/// the per-run cost splits between mutation and verification, and how long
+/// the reducer takes to shrink the canonical bug-select-arith repro. The
+/// numbers bound what `tool.alive-fuzz-long` can afford per CI tier.
+///
+/// Emits BENCH_fuzz.json (fuzz.* counters plus bench.fuzz.*_wall
+/// distributions).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "fuzz/Mutator.h"
+#include "fuzz/Oracle.h"
+#include "fuzz/Reducer.h"
+#include "support/Profile.h"
+
+#include <chrono>
+
+using namespace alive;
+using namespace alive::bench;
+
+namespace {
+
+double now() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+} // namespace
+
+int main() {
+  constexpr unsigned Runs = 24;
+  constexpr uint64_t Seed = 0xf022;
+
+  fuzz::Oracle::Config C;
+  C.Opts.Budget.TimeoutSec = 10;
+  fuzz::Oracle Oracle(C);
+
+  std::printf("# Differential fuzzing throughput (%u runs, seed 0x%llx, "
+              "correct pipeline)\n",
+              Runs, (unsigned long long)Seed);
+  std::printf("%-8s %-9s %-10s %-10s %-9s\n", "run", "mutate(s)", "oracle(s)",
+              "mutations", "failures");
+
+  stats::Registry::get().reset();
+  Rng Master(Seed);
+  double MutateTotal = 0, OracleTotal = 0;
+  unsigned Failures = 0;
+  for (unsigned Run = 0; Run < Runs; ++Run) {
+    uint64_t RunSeed = Master.next();
+    std::string Base =
+        corpus::generateFunctionIR(RunSeed, Run % 3 == 1, Run % 4 == 2);
+    fuzz::Mutator Mut(RunSeed);
+    double T0 = now();
+    std::string Mutant = Mut.mutate(Base, 3);
+    double T1 = now();
+    auto Fails = Oracle.run(Mutant);
+    double T2 = now();
+    MutateTotal += T1 - T0;
+    OracleTotal += T2 - T1;
+    Failures += (unsigned)Fails.size();
+    stats::addSample("bench.fuzz.mutate_wall", T1 - T0);
+    stats::addSample("bench.fuzz.oracle_wall", T2 - T1);
+    std::printf("%-8u %-9.4f %-10.3f %-10zu %-9zu\n", Run, T1 - T0, T2 - T1,
+                Mut.log().size(), Fails.size());
+  }
+  std::printf("\n%u runs in %.2fs oracle wall (%.2f runs/s), %u failures, "
+              "mutation overhead %.1f%%\n",
+              Runs, OracleTotal, Runs / (OracleTotal > 0 ? OracleTotal : 1),
+              Failures, 100.0 * MutateTotal / (MutateTotal + OracleTotal));
+
+  // Reducer on the canonical Section 8.4 trigger through the buggy pass.
+  const char *BuggySrc = "define i1 @f(i1 %x, i1 %y, i8 %a) {\n"
+                         "entry:\n"
+                         "  %pad1 = add i8 %a, 1\n"
+                         "  %pad2 = mul i8 %pad1, 3\n"
+                         "  %r = select i1 %x, i1 %y, i1 false\n"
+                         "  ret i1 %r\n"
+                         "}\n";
+  fuzz::Oracle::Config BC;
+  BC.Pipeline = {"bug-select-arith"};
+  BC.Opts.Budget.TimeoutSec = 10;
+  fuzz::Oracle BuggyOracle(BC);
+  fuzz::Reducer Reducer(BuggyOracle);
+  double R0 = now();
+  fuzz::ReduceResult R = Reducer.reduce("pipeline-soundness", BuggySrc);
+  double R1 = now();
+  stats::addSample("bench.fuzz.reduce_wall", R1 - R0);
+  std::printf("reduce: %zu -> %zu instrs in %.2fs (%u candidates, %u "
+              "accepted)\n",
+              R.InitialInstrs, R.FinalInstrs, R1 - R0, R.CandidatesTried,
+              R.Accepted);
+
+  auto Snap = stats::Registry::get().snapshot();
+  if (!writeStatsJson("BENCH_fuzz.json", Snap,
+                      "differential fuzzing throughput sweep"))
+    std::fprintf(stderr, "warning: cannot write BENCH_fuzz.json\n");
+  return Failures ? 1 : 0;
+}

@@ -1,0 +1,76 @@
+//===- fuzz/Mutator.h - Seeded deterministic IR mutator ---------*- C++ -*-==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded mutator over the textual IR. Typed mutations (constant
+/// perturbation, operand swaps, poison-flag flips, instruction
+/// insert/delete/replace, select/branch twists) are applied to a parsed
+/// module and re-checked against ir::Verifier after every step, so mutate()
+/// always returns well-formed IR; mutations that break SSA/typing are
+/// rolled back. mutateText() is the other mode: byte/token-level corruption
+/// that deliberately produces malformed input for fuzzing the parser and
+/// lexer. Both are deterministic in the constructor seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALIVE2RE_FUZZ_MUTATOR_H
+#define ALIVE2RE_FUZZ_MUTATOR_H
+
+#include "support/Diag.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alive::fuzz {
+
+/// The mutation taxonomy (see DESIGN.md "Fuzzing & reduction").
+enum class MutationKind : uint8_t {
+  ConstantPerturb, ///< nudge an integer constant (+-1, 0, 1, all-ones, ...)
+  OperandSwap,     ///< swap the operands of a binop/cmp
+  FlagFlip,        ///< toggle nsw/nuw/exact or a fast-math flag
+  InsertInstr,     ///< insert a fresh binop/icmp/select/freeze over live values
+  DeleteInstr,     ///< delete an unused non-terminator
+  ReplaceOperand,  ///< rewire one operand to another same-typed value
+  SelectTwist,     ///< swap select arms, or invert its condition
+  BranchTwist,     ///< swap branch destinations, or invert its condition
+};
+const char *toString(MutationKind K);
+
+/// One applied (verifier-clean) mutation, for logs and trace events.
+struct Mutation {
+  MutationKind Kind;
+  std::string Detail; ///< e.g. "const %c in %v3: 7 -> 8"
+};
+
+class Mutator {
+public:
+  explicit Mutator(uint64_t Seed) : R(Seed) {}
+
+  /// Applies up to \p MaxMutations typed mutations to the last defined
+  /// function of \p ModuleIR, re-verifying after each one and rolling back
+  /// any that break well-formedness. \returns the printed mutated module
+  /// (equal to the re-printed input when nothing could be applied) and
+  /// appends the applied mutations to log(). \p ModuleIR must parse.
+  std::string mutate(const std::string &ModuleIR, unsigned MaxMutations);
+
+  /// Byte/token-level corruption for parser fuzzing: the result is usually
+  /// NOT well-formed (that is the point).
+  std::string mutateText(const std::string &Text);
+
+  /// Mutations applied by every mutate() call so far, in order.
+  const std::vector<Mutation> &log() const { return Log; }
+  void clearLog() { Log.clear(); }
+
+private:
+  Rng R;
+  std::vector<Mutation> Log;
+  unsigned FreshNameCounter = 0;
+};
+
+} // namespace alive::fuzz
+
+#endif // ALIVE2RE_FUZZ_MUTATOR_H

@@ -46,6 +46,18 @@ BasicBlock *Function::insertBlockAfter(BasicBlock *After,
   return Raw;
 }
 
+void Function::removeBlock(BasicBlock *BB) {
+  assert(!Blocks.empty() && Blocks[0].get() != BB &&
+         "cannot remove the entry block");
+  for (size_t I = 0; I < Blocks.size(); ++I) {
+    if (Blocks[I].get() == BB) {
+      Blocks.erase(Blocks.begin() + I);
+      return;
+    }
+  }
+  assert(false && "block not in this function");
+}
+
 BasicBlock *Function::blockByName(const std::string &BlockName) const {
   for (const auto &BB : Blocks)
     if (BB->name() == BlockName)

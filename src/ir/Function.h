@@ -100,6 +100,10 @@ public:
   /// unrolled bodies textually adjacent).
   BasicBlock *insertBlockAfter(BasicBlock *After, std::string BlockName);
   unsigned numBlocks() const { return (unsigned)Blocks.size(); }
+  /// Removes (and destroys) \p BB, which must not be the entry block. The
+  /// caller is responsible for first rewriting any branches/phis that refer
+  /// to it (the fuzz reducer prunes unreachable blocks this way).
+  void removeBlock(BasicBlock *BB);
   BasicBlock *block(unsigned I) const { return Blocks[I].get(); }
   BasicBlock *entry() const { return Blocks.empty() ? nullptr : Blocks[0].get(); }
   BasicBlock *blockByName(const std::string &BlockName) const;

@@ -8,6 +8,7 @@
 #include "ir/Lexer.h"
 #include "support/Profile.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -80,6 +81,7 @@ private:
   }
 
   const Type *parseType();
+  const Type *parseTypeImpl();
   bool parseUInt(uint64_t &Out);
   Value *parseOperand(const Type *Ty);
   Value *lookupOrPlaceholder(const std::string &Name, const Type *Ty);
@@ -94,6 +96,12 @@ private:
   FBinOp::FastMathFlags parseFMF();
   unsigned parseOptionalAlign(unsigned Default);
   void finishFunction();
+
+  /// Recursion guard for nested vector/array/struct types; fuzzed inputs
+  /// with tens of thousands of '[2 x' prefixes must produce a diagnostic,
+  /// not a stack overflow.
+  static constexpr unsigned MaxTypeDepth = 64;
+  unsigned TypeDepth = 0;
 };
 
 std::unique_ptr<Module> ParserImpl::run() {
@@ -117,6 +125,17 @@ std::unique_ptr<Module> ParserImpl::run() {
 }
 
 const Type *ParserImpl::parseType() {
+  if (TypeDepth >= MaxTypeDepth) {
+    errorHere("type nesting too deep");
+    return nullptr;
+  }
+  ++TypeDepth;
+  const Type *Ty = parseTypeImpl();
+  --TypeDepth;
+  return Ty;
+}
+
+const Type *ParserImpl::parseTypeImpl() {
   const Token T = Lex.next();
   if (T.is(Token::Kind::Word)) {
     if (T.Text == "void")
@@ -128,9 +147,11 @@ const Type *ParserImpl::parseType() {
     if (T.Text == "ptr")
       return Type::getPtr();
     if (T.Text.size() > 1 && T.Text[0] == 'i') {
-      unsigned Bits = (unsigned)std::atoi(T.Text.c_str() + 1);
-      if (Bits >= 1 && Bits <= 64)
-        return Type::getInt(Bits);
+      errno = 0;
+      char *End = nullptr;
+      unsigned long Bits = std::strtoul(T.Text.c_str() + 1, &End, 10);
+      if (errno == 0 && End && !*End && Bits >= 1 && Bits <= 64)
+        return Type::getInt((unsigned)Bits);
       error(T, "unsupported integer width '" + T.Text + "'");
       return nullptr;
     }
@@ -180,7 +201,13 @@ bool ParserImpl::parseUInt(uint64_t &Out) {
     error(T, "expected an integer");
     return false;
   }
-  Out = std::strtoull(T.Text.c_str(), nullptr, 0);
+  errno = 0;
+  char *End = nullptr;
+  Out = std::strtoull(T.Text.c_str(), &End, 0);
+  if (errno == ERANGE || !End || *End || T.Text[0] == '-') {
+    error(T, "bad integer literal '" + T.Text + "'");
+    return false;
+  }
   return true;
 }
 
@@ -521,9 +548,17 @@ unsigned ParserImpl::parseOptionalAlign(unsigned Default) {
   if (consumePunct(',')) {
     if (!expectWord("align"))
       return Default;
+    const Token ATok = Lex.peek();
     uint64_t A;
     if (!parseUInt(A))
       return Default;
+    // LLVM's contract: a power of two, bounded well below 2^32. Anything
+    // else (including overflowed literals) is a diagnostic, not a silent
+    // truncation to unsigned.
+    if (A == 0 || A > (1u << 29) || (A & (A - 1))) {
+      error(ATok, "unsupported alignment");
+      return Default;
+    }
     return (unsigned)A;
   }
   return Default;
@@ -779,6 +814,10 @@ Instr *ParserImpl::parseInstruction(std::string ResultName) {
     const Type *Ty = parseType();
     if (!Ty)
       return nullptr;
+    if (!Ty->isInt()) {
+      error(OpTok, "switch condition must have integer type");
+      return nullptr;
+    }
     Value *C = parseOperand(Ty);
     if (!C || !expectPunct(',') || !expectWord("label"))
       return nullptr;
@@ -978,6 +1017,10 @@ Instr *ParserImpl::parseInstruction(std::string ResultName) {
     if (!V1 || !expectPunct(','))
       return nullptr;
     const Type *VecTy2 = parseType();
+    if (VecTy2 && VecTy2 != VecTy) {
+      errorHere("shufflevector operands must have the same type");
+      return nullptr;
+    }
     Value *V2 = VecTy2 ? parseOperand(VecTy2) : nullptr;
     if (!V2 || !expectPunct(','))
       return nullptr;
@@ -999,9 +1042,16 @@ Instr *ParserImpl::parseInstruction(std::string ResultName) {
       if (consumeWord("undef")) {
         Mask.push_back(-1);
       } else {
+        const Token KTok = Lex.peek();
         uint64_t K;
         if (!parseUInt(K))
           return nullptr;
+        // A mask lane selects from the 2N concatenated input lanes; a
+        // larger index would flow a garbage (int) cast into the encoder.
+        if (K >= 2ULL * VecTy->numElements()) {
+          error(KTok, "shufflevector mask index out of range");
+          return nullptr;
+        }
         Mask.push_back((int)K);
       }
     }

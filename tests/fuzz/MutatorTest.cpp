@@ -1,0 +1,103 @@
+//===- tests/fuzz/MutatorTest.cpp - IR mutator contract ----------------------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+// What every fuzz run leans on: mutation is a pure function of (seed,
+// input), always hands back verifier-clean IR, and actually changes the
+// module when asked to. mutateText() is only required to be deterministic —
+// malformed output is its purpose.
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "fuzz/Mutator.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+
+#include "gtest/gtest.h"
+
+using namespace alive;
+using namespace alive::fuzz;
+
+namespace {
+
+const char *SimpleFn = "define i8 @f(i8 %x, i8 %y) {\n"
+                       "entry:\n"
+                       "  %a = add i8 %x, %y\n"
+                       "  %b = mul i8 %a, 3\n"
+                       "  %c = icmp slt i8 %b, 10\n"
+                       "  %s = select i1 %c, i8 %a, i8 %b\n"
+                       "  ret i8 %s\n"
+                       "}\n";
+
+TEST(MutatorTest, SameSeedSameMutant) {
+  for (uint64_t Seed : {1ull, 21ull, 0xf22ull}) {
+    Mutator M1(Seed), M2(Seed);
+    EXPECT_EQ(M1.mutate(SimpleFn, 4), M2.mutate(SimpleFn, 4))
+        << "seed=" << Seed;
+  }
+}
+
+TEST(MutatorTest, DifferentSeedsDiverge) {
+  unsigned Distinct = 0;
+  std::string First = Mutator(100).mutate(SimpleFn, 4);
+  for (uint64_t Seed = 101; Seed < 111; ++Seed)
+    Distinct += Mutator(Seed).mutate(SimpleFn, 4) != First;
+  EXPECT_GE(Distinct, 5u) << "ten seeds produced nearly identical mutants";
+}
+
+TEST(MutatorTest, MutantsAreAlwaysVerifierClean) {
+  for (uint64_t Seed = 0; Seed < 40; ++Seed) {
+    std::string Base =
+        corpus::generateFunctionIR(Seed, Seed % 3 == 1, Seed % 4 == 2);
+    Mutator M(Seed);
+    std::string Out = M.mutate(Base, 4);
+    Diag Err;
+    auto Mod = ir::parseModule(Out, Err);
+    ASSERT_TRUE(Mod) << "seed=" << Seed << ": " << Err.str() << "\n" << Out;
+    EXPECT_TRUE(ir::verifyModule(*Mod, Err))
+        << "seed=" << Seed << ": " << Err.str() << "\n" << Out;
+  }
+}
+
+TEST(MutatorTest, MutationsActuallyChangeTheModule) {
+  unsigned Changed = 0;
+  for (uint64_t Seed = 0; Seed < 20; ++Seed) {
+    Mutator M(Seed);
+    Changed += M.mutate(SimpleFn, 3) !=
+               M.mutate(SimpleFn, 0); // 0 mutations = canonicalized input
+  }
+  EXPECT_GE(Changed, 14u) << "most seeds should land at least one mutation";
+}
+
+TEST(MutatorTest, LogMatchesAppliedMutations) {
+  Mutator M(7);
+  (void)M.mutate(SimpleFn, 5);
+  for (const Mutation &Mu : M.log())
+    EXPECT_FALSE(toString(Mu.Kind) == std::string()) << "unnamed mutation";
+  M.clearLog();
+  EXPECT_TRUE(M.log().empty());
+}
+
+TEST(MutatorTest, ZeroMutationsIsCanonicalizationOnly) {
+  Mutator M(5);
+  std::string Out = M.mutate(SimpleFn, 0);
+  Diag Err;
+  auto Mod = ir::parseModule(Out, Err);
+  ASSERT_TRUE(Mod) << Err.str();
+  EXPECT_TRUE(M.log().empty());
+}
+
+TEST(MutatorTest, TextMutationIsDeterministic) {
+  Mutator M1(33), M2(33);
+  EXPECT_EQ(M1.mutateText(SimpleFn), M2.mutateText(SimpleFn));
+}
+
+TEST(MutatorTest, UnparseableInputComesBackUnchanged) {
+  Mutator M(9);
+  std::string Garbage = "this is not IR";
+  EXPECT_EQ(M.mutate(Garbage, 3), Garbage);
+  EXPECT_TRUE(M.log().empty());
+}
+
+} // namespace

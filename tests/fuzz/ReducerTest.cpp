@@ -1,0 +1,145 @@
+//===- tests/fuzz/ReducerTest.cpp - Delta-debugging shrinker contract --------==//
+//
+// Part of the alive2re project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+// The reducer's guarantee, proven on a seeded opt::BuggyPasses
+// miscompilation: the minimized repro still parses and verifies, still
+// fails the SAME oracle, is no larger than the input, and replays directly
+// from its saved (src, tgt) pair — the exact loop `alive-fuzz --repro`
+// depends on.
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+#include "fuzz/Reducer.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+
+#include "gtest/gtest.h"
+
+using namespace alive;
+using namespace alive::fuzz;
+
+namespace {
+
+// The Section 8.4 select bug's trigger shape, padded with dead arithmetic
+// the reducer must strip: bug-select-arith rewrites the select into an
+// `and` that leaks poison from the untaken arm.
+const char *BuggySrc = R"(define i1 @f(i1 %x, i1 %y, i8 %a) {
+entry:
+  %pad1 = add i8 %a, 1
+  %pad2 = mul i8 %pad1, 3
+  %pad3 = xor i8 %pad2, 255
+  %r = select i1 %x, i1 %y, i1 false
+  ret i1 %r
+}
+)";
+
+Oracle::Config buggyConfig() {
+  Oracle::Config C;
+  C.Pipeline = {"bug-select-arith"};
+  C.Opts.Budget.TimeoutSec = 30;
+  return C;
+}
+
+size_t countInstrs(const std::string &IR) {
+  Diag Err;
+  auto M = ir::parseModule(IR, Err);
+  if (!M || !M->numFunctions())
+    return 0;
+  size_t N = 0;
+  const ir::Function *F = M->function(M->numFunctions() - 1);
+  for (unsigned B = 0; B < F->numBlocks(); ++B)
+    N += F->block(B)->size();
+  return N;
+}
+
+TEST(ReducerTest, SeededMiscompileShrinksToAReplayableRepro) {
+  Oracle O(buggyConfig());
+  std::string Detail;
+  ASSERT_TRUE(O.fails("pipeline-soundness", BuggySrc, &Detail))
+      << "the seeded bug must fail the oracle before reduction";
+
+  Reducer R(O);
+  ReduceResult Res = R.reduce("pipeline-soundness", BuggySrc);
+
+  // Still a well-formed module...
+  Diag Err;
+  auto M = ir::parseModule(Res.SrcIR, Err);
+  ASSERT_TRUE(M) << "minimized repro does not reparse: " << Err.str() << "\n"
+                 << Res.SrcIR;
+  EXPECT_TRUE(ir::verifyModule(*M, Err)) << Err.str();
+
+  // ...that still fails the same oracle...
+  EXPECT_TRUE(O.fails("pipeline-soundness", Res.SrcIR))
+      << "minimized repro no longer fails:\n"
+      << Res.SrcIR;
+
+  // ...and is no larger than what went in (here: strictly smaller, the
+  // three dead pads must go).
+  EXPECT_LE(Res.FinalInstrs, Res.InitialInstrs);
+  EXPECT_GE(Res.Accepted, 1u) << "reducer accepted nothing on a paddable input";
+  EXPECT_LT(countInstrs(Res.SrcIR), countInstrs(BuggySrc));
+
+  // The saved pair replays directly, without re-running the pipeline.
+  OracleFailure F{"pipeline-soundness", Res.Detail, Res.SrcIR, Res.TgtIR};
+  std::string ReplayDetail;
+  EXPECT_TRUE(O.replay(F, &ReplayDetail)) << "saved pair does not replay";
+}
+
+TEST(ReducerTest, NonFailingInputComesBackUntouched) {
+  Oracle::Config C;
+  C.Pipeline = {"instsimplify"};
+  C.Opts.Budget.TimeoutSec = 30;
+  Oracle O(C);
+  const char *Good = "define i8 @f(i8 %x) {\n"
+                     "entry:\n  %r = add i8 %x, 0\n  ret i8 %r\n}\n";
+  Reducer R(O);
+  ReduceResult Res = R.reduce("pipeline-soundness", Good);
+  EXPECT_EQ(Res.Accepted, 0u);
+  EXPECT_EQ(Res.CandidatesTried, 0u);
+}
+
+TEST(ReducerTest, ReductionIsDeterministic) {
+  Oracle O1(buggyConfig()), O2(buggyConfig());
+  Reducer R1(O1), R2(O2);
+  ReduceResult A = R1.reduce("pipeline-soundness", BuggySrc);
+  ReduceResult B = R2.reduce("pipeline-soundness", BuggySrc);
+  EXPECT_EQ(A.SrcIR, B.SrcIR);
+  EXPECT_EQ(A.TgtIR, B.TgtIR);
+  EXPECT_EQ(A.Accepted, B.Accepted);
+}
+
+TEST(ReducerTest, CandidateBudgetIsRespected) {
+  Oracle O(buggyConfig());
+  Reducer::Limits Lim;
+  Lim.MaxCandidates = 3;
+  Reducer R(O, Lim);
+  ReduceResult Res = R.reduce("pipeline-soundness", BuggySrc);
+  EXPECT_LE(Res.CandidatesTried, 3u);
+  // Even a starved reduction must hand back a failing repro.
+  EXPECT_TRUE(O.fails("pipeline-soundness", Res.SrcIR));
+}
+
+TEST(ReducerTest, ReduceTextFindsTheMinimalFailingCore) {
+  auto Contains = [](const std::string &S) {
+    return S.find("BB") != std::string::npos;
+  };
+  std::string Out = Reducer::reduceText("xxxxBBxxxxyyyyzzzz", Contains);
+  EXPECT_EQ(Out, "BB");
+}
+
+TEST(ReducerTest, ReduceTextIsBoundedAndSound) {
+  unsigned Probes = 0;
+  auto Pred = [&Probes](const std::string &S) {
+    ++Probes;
+    return S.find('!') != std::string::npos;
+  };
+  std::string Input(512, 'a');
+  Input[300] = '!';
+  std::string Out = Reducer::reduceText(Input, Pred, /*MaxProbes=*/64);
+  EXPECT_TRUE(Pred(Out)) << "result must still satisfy the predicate";
+  EXPECT_LE(Out.size(), Input.size());
+}
+
+} // namespace

@@ -1,0 +1,6 @@
+; alignment must be a power of two
+define i8 @f() {
+entry:
+  %p = alloca i8, align 3
+  ret i8 0
+}

@@ -1,0 +1,6 @@
+; alignment literal overflows uint64; used to truncate silently to unsigned
+define i8 @f() {
+entry:
+  %p = alloca i8, align 99999999999999999999
+  ret i8 0
+}

@@ -1,0 +1,5 @@
+; integer width overflows every machine type; must be a diagnostic, not atoi UB
+define i99999999999999999999 @f() {
+entry:
+  ret i8 0
+}

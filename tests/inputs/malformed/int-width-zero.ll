@@ -1,0 +1,5 @@
+; i0 is not a type
+define i0 @f() {
+entry:
+  ret i0 0
+}

@@ -1,0 +1,5 @@
+; a negative element count must not wrap around via strtoull
+define [-3 x i8] @f() {
+entry:
+  ret i8 0
+}

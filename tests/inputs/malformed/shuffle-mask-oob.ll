@@ -1,0 +1,6 @@
+; mask lane 99999999999 is far outside the 2N concatenated input lanes
+define <2 x i8> @f(<2 x i8> %a, <2 x i8> %b) {
+entry:
+  %r = shufflevector <2 x i8> %a, <2 x i8> %b, <2 x i32> <i32 99999999999, i32 0>
+  ret <2 x i8> %r
+}

@@ -1,0 +1,6 @@
+; shufflevector inputs must have identical vector types
+define <2 x i8> @f(<2 x i8> %a, <4 x i8> %b) {
+entry:
+  %r = shufflevector <2 x i8> %a, <4 x i8> %b, <2 x i32> <i32 0, i32 1>
+  ret <2 x i8> %r
+}

@@ -1,0 +1,8 @@
+; a switch condition must be an integer; this used to be silently accepted
+define i8 @f() {
+entry:
+  %v = alloca i8
+  switch void %v, label %d [ ]
+d:
+  ret i8 0
+}

@@ -1,0 +1,5 @@
+; branch to a label that is never defined
+define i8 @f() {
+entry:
+  br label %nosuch
+}

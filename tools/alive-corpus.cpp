@@ -11,6 +11,11 @@
 ///   alive-corpus [--unroll N] [--timeout SEC] [--generated N]
 ///                [--cache-dir DIR] [--no-query-cache]
 ///
+/// Exit status is the CI gate: 0 only when every pair lands on its
+/// expected side — a mismatch OR an inconclusive verdict (timeout, OOM,
+/// unsupported) is a failure, so a silently degraded solver setup cannot
+/// turn the corpus green.
+///
 //===----------------------------------------------------------------------===//
 
 #include "corpus/Corpus.h"
@@ -108,5 +113,5 @@ int main(int argc, char **argv) {
   if (std::string CacheErr; !Validator.flushCache(&CacheErr))
     std::fprintf(stderr, "warning: cannot write cache: %s\n",
                  CacheErr.c_str());
-  return Disagree ? 1 : 0;
+  return (Disagree || Inconclusive) ? 1 : 0;
 }

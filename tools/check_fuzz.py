@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""End-to-end contract check for alive-fuzz (stdlib only).
+
+Drives the fuzzing CLI through its three load-bearing guarantees:
+
+  1. Determinism — two identical invocations (same seed, runs, flags)
+     produce byte-identical stdout (artifact paths normalized) and
+     byte-identical artifact trees.
+  2. Bug detection — pointed at an opt::BuggyPasses pass, the fixed seed
+     detects at least one injected miscompile (exit 1, a FAIL line) and
+     writes a minimized repro directory containing src.ll, tgt.ll and
+     repro.txt, with the minimized source no larger than the mutant.
+  3. Replay — `alive-fuzz --repro DIR` on that artifact prints
+     "reproduced" and exits 0.
+
+Exit status 0 when every contract holds, 1 otherwise, with one diagnostic
+per violation on stderr. Used by the `tool.check-fuzz` ctest and usable
+standalone:
+
+  python3 tools/check_fuzz.py --alive-fuzz build/tools/alive-fuzz \\
+      --work-dir /tmp/fuzzcheck
+"""
+
+import argparse
+import filecmp
+import os
+import shutil
+import subprocess
+import sys
+
+# One failure is enough for the gate; seed 21 run000 is a generated mutant
+# whose select feeds the return, so bug-select-arith miscompiles it.
+BUGGY_ARGS = ["--seed", "21", "--runs", "1", "--timeout", "10",
+              "--buggy", "bug-select-arith"]
+
+
+def fail(errors, msg):
+    errors.append(msg)
+    print(f"check_fuzz: {msg}", file=sys.stderr)
+
+
+def run(binary, args, artifacts):
+    cmd = [binary] + args + ["--artifacts", artifacts]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=600)
+    return proc.returncode, proc.stdout.replace(artifacts, "ARTIFACTS"), \
+        proc.stderr
+
+
+def tree_equal(errors, a, b):
+    cmp = filecmp.dircmp(a, b)
+    if cmp.left_only or cmp.right_only or cmp.diff_files or cmp.funny_files:
+        fail(errors, f"artifact trees differ: only-left={cmp.left_only} "
+                     f"only-right={cmp.right_only} diff={cmp.diff_files}")
+        return False
+    ok = True
+    for sub in cmp.common_dirs:
+        ok &= tree_equal(errors, os.path.join(a, sub), os.path.join(b, sub))
+    return ok
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--alive-fuzz", required=True)
+    ap.add_argument("--work-dir", required=True)
+    opts = ap.parse_args()
+    errors = []
+
+    shutil.rmtree(opts.work_dir, ignore_errors=True)
+    os.makedirs(opts.work_dir)
+    art1 = os.path.join(opts.work_dir, "a1")
+    art2 = os.path.join(opts.work_dir, "a2")
+
+    # --- 1 + 2: two identical buggy runs: determinism AND detection. ------
+    rc1, out1, err1 = run(opts.alive_fuzz, BUGGY_ARGS, art1)
+    rc2, out2, _ = run(opts.alive_fuzz, BUGGY_ARGS, art2)
+
+    if rc1 != 1:
+        fail(errors, f"buggy run should exit 1 (failures found), got {rc1}; "
+                     f"stderr: {err1.strip()}")
+    if "FAIL " not in out1:
+        fail(errors, "buggy run printed no FAIL line")
+    if rc1 != rc2 or out1 != out2:
+        fail(errors, "two identical invocations differ in exit code or "
+                     "stdout")
+    if os.path.isdir(art1) and os.path.isdir(art2):
+        tree_equal(errors, art1, art2)
+    else:
+        fail(errors, "buggy run wrote no artifact directory")
+
+    repro_dirs = sorted(os.listdir(art1)) if os.path.isdir(art1) else []
+    if not repro_dirs:
+        fail(errors, "no repro directory under the artifact root")
+        report(errors)
+    repro = os.path.join(art1, repro_dirs[0])
+    for name in ("src.ll", "tgt.ll", "repro.txt"):
+        if not os.path.isfile(os.path.join(repro, name)):
+            fail(errors, f"repro artifact is missing {name}")
+    if "reduced " not in out1:
+        fail(errors, "stdout does not report the reduction")
+
+    # --- 3: the saved pair replays. ---------------------------------------
+    proc = subprocess.run([opts.alive_fuzz, "--repro", repro],
+                          capture_output=True, text=True, timeout=600)
+    if proc.returncode != 0:
+        fail(errors, f"--repro exited {proc.returncode}: "
+                     f"{proc.stdout.strip()} {proc.stderr.strip()}")
+    if not proc.stdout.startswith("reproduced"):
+        fail(errors, f"--repro did not report 'reproduced': "
+                     f"{proc.stdout.strip()}")
+
+    report(errors)
+
+
+def report(errors):
+    if errors:
+        print(f"check_fuzz: {len(errors)} violation(s)", file=sys.stderr)
+        sys.exit(1)
+    print("check_fuzz: all contracts hold")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
